@@ -1,0 +1,1 @@
+"""pytest-benchmark harness regenerating the paper's tables and figures."""

@@ -1,0 +1,44 @@
+"""Benchmarks for the design-choice ablations (beyond the paper's figures)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def bench_ablation_upper_capacity(benchmark, bench_settings, bench_cache):
+    """Upper-level capacity sweep of the register file cache."""
+    result = run_once(benchmark, ablations.upper_capacity_sweep,
+                      bench_settings, bench_cache, (8, 16, 32))
+    print("\n" + result.render())
+    for suite in ("SpecInt95", "SpecFP95"):
+        series = result.data["series"][suite]
+        assert series["32 regs"] >= series["8 regs"] * 0.97
+
+
+def bench_ablation_caching_policies(benchmark, bench_settings, bench_cache):
+    """Non-bypass / ready / always / never caching comparison."""
+    result = run_once(benchmark, ablations.caching_policy_sweep,
+                      bench_settings, bench_cache)
+    print("\n" + result.render())
+    series = result.data["series"]["SpecFP95"]
+    assert len(series) == 4
+
+
+def bench_ablation_bus_bandwidth(benchmark, bench_settings, bench_cache):
+    """Inter-level bus count sweep."""
+    result = run_once(benchmark, ablations.bus_count_sweep,
+                      bench_settings, bench_cache, (1, 2, 4))
+    print("\n" + result.render())
+    for suite in ("SpecInt95", "SpecFP95"):
+        series = result.data["series"][suite]
+        assert series["4 buses"] >= series["1 buses"] * 0.97
+
+
+def bench_ablation_one_level_banked(benchmark, bench_settings, bench_cache):
+    """One-level multiple-banked organisation vs the register file cache."""
+    result = run_once(benchmark, ablations.one_level_banked_comparison,
+                      bench_settings, bench_cache)
+    print("\n" + result.render())
+    series = result.data["series"]["SpecInt95"]
+    assert "register file cache" in series

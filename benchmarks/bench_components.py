@@ -1,0 +1,126 @@
+"""Microbenchmarks of the simulator's building blocks.
+
+These use pytest-benchmark's statistical timing (multiple rounds) and
+track the raw speed of the pieces the experiments are built from: the
+synthetic workload generator, the branch predictor, the cache model, the
+register-file-cache operations and the cycle-level simulator itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.execute.scoreboard import ValueScoreboard
+from repro.frontend.gshare import GSharePredictor
+from repro.isa.instruction import RegisterClass
+from repro.memsys.cache import CacheConfig, CacheModel
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.regfile.cache import RegisterFileCache
+from repro.regfile.monolithic import SingleBankedRegisterFile
+from repro.regfile.policies import AlwaysCaching
+from repro.regfile.replacement import PseudoLRU
+from repro.rename.renamer import PhysicalRegister
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def bench_workload_generation(benchmark):
+    """Generate 5000 synthetic gcc instructions."""
+    workload = SyntheticWorkload(get_profile("gcc"))
+
+    def generate():
+        return sum(1 for _ in workload.instructions(5000))
+
+    assert benchmark(generate) == 5000
+
+
+def bench_gshare_prediction_throughput(benchmark):
+    """Predict/update one million-entry gshare on a fixed branch pattern."""
+    predictor = GSharePredictor(num_entries=64 * 1024)
+    rng = random.Random(7)
+    branches = [(rng.randrange(1 << 20) * 4, rng.random() < 0.8) for _ in range(2000)]
+
+    def run():
+        for pc, taken in branches:
+            predicted, checkpoint = predictor.predict(pc)
+            predictor.update(pc, taken, checkpoint, predicted)
+        return predictor.predictions
+
+    assert benchmark(run) > 0
+
+
+def bench_dcache_accesses(benchmark):
+    """64KB 2-way cache servicing a mixed address stream."""
+    cache = CacheModel(CacheConfig())
+    rng = random.Random(11)
+    addresses = [rng.randrange(1 << 18) & ~0x7 for _ in range(4000)]
+
+    def run():
+        for address in addresses:
+            cache.access(address)
+        return cache.hits + cache.misses
+
+    assert benchmark(run) > 0
+
+
+def bench_pseudo_lru_operations(benchmark):
+    """Insert/touch churn on a 16-entry pseudo-LRU (the upper bank)."""
+    rng = random.Random(3)
+    keys = [rng.randrange(128) for _ in range(4000)]
+
+    def run():
+        lru = PseudoLRU(16)
+        for key in keys:
+            if key in lru:
+                lru.touch(key)
+            else:
+                lru.insert(key)
+        return len(lru)
+
+    assert benchmark(run) == 16
+
+
+def bench_register_file_cache_writeback_path(benchmark):
+    """Write-back + caching decision throughput of the register file cache."""
+    scoreboard = ValueScoreboard()
+    registers = [PhysicalRegister(RegisterClass.INT, i) for i in range(128)]
+    states = []
+    for index, register in enumerate(registers):
+        state = scoreboard.allocate(register, producer_seq=index)
+        state.ex_end_cycle = index
+        states.append(state)
+
+    def run():
+        cache = RegisterFileCache(caching_policy=AlwaysCaching())
+        for cycle, (register, state) in enumerate(zip(registers, states)):
+            cache.begin_cycle(cycle)
+            cache.writeback(register, state, cycle, window=None)
+        return cache.results_cached
+
+    assert benchmark(run) == 128
+
+
+def bench_simulator_one_cycle_regfile(benchmark):
+    """End-to-end simulation speed, 1-cycle register file, 1500 instructions."""
+    workload = SyntheticWorkload(get_profile("ijpeg"))
+    config = ProcessorConfig(max_instructions=1500)
+
+    def run():
+        stats = simulate(workload.instructions(2500),
+                         lambda: SingleBankedRegisterFile(latency=1), config, "ijpeg")
+        return stats.committed_instructions
+
+    assert benchmark(run) == 1500
+
+
+def bench_simulator_register_file_cache(benchmark):
+    """End-to-end simulation speed with the register file cache."""
+    workload = SyntheticWorkload(get_profile("ijpeg"))
+    config = ProcessorConfig(max_instructions=1500)
+
+    def run():
+        stats = simulate(workload.instructions(2500), RegisterFileCache, config, "ijpeg")
+        return stats.committed_instructions
+
+    assert benchmark(run) == 1500

@@ -1,0 +1,48 @@
+"""Compare the paper's register file architectures on a SPEC95 subset.
+
+Run with::
+
+    python examples/compare_architectures.py [instructions]
+
+Reproduces the core comparison of the paper (Figures 2, 6 and 7) on a
+four-benchmark subset: the 1-cycle file, the pipelined 2-cycle file with
+full and with single bypass, and the register file cache — all with
+unlimited ports — and prints IPC per benchmark plus harmonic means.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ProcessorConfig, SyntheticWorkload, get_profile, simulate
+from repro.analysis import format_series, harmonic_mean
+from repro.experiments.common import architecture_factories
+
+BENCHMARKS = ("m88ksim", "ijpeg", "swim", "mgrid")
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+    config = ProcessorConfig(max_instructions=instructions)
+
+    series: dict[str, dict[str, float]] = {}
+    for architecture, factory in architecture_factories().items():
+        ipcs: dict[str, float] = {}
+        for benchmark in BENCHMARKS:
+            workload = SyntheticWorkload(get_profile(benchmark))
+            stats = simulate(workload.instructions(instructions + 2000), factory,
+                             config, benchmark)
+            ipcs[benchmark] = stats.ipc
+        ipcs["Hmean"] = harmonic_mean(list(ipcs.values()))
+        series[architecture] = ipcs
+
+    print(format_series(series, title=f"IPC, unlimited ports, {instructions} instructions"))
+    print()
+    baseline = series["1-cycle"]["Hmean"]
+    for architecture, values in series.items():
+        delta = 100.0 * (values["Hmean"] / baseline - 1.0)
+        print(f"{architecture:28s} {delta:+6.1f}% IPC vs the 1-cycle register file")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this shim exists so the
+package can be installed (including ``pip install -e .``) in offline
+environments whose setuptools/pip combination cannot build PEP 660
+editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Plain-text charts for experiment reports.
+
+The experiment harness prints its figures as tables; these helpers add
+simple ASCII bar charts and sparkline-style series so the shape of a
+result (who wins, where the knee is) can be read at a glance in a
+terminal or a text log, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ModelError
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def horizontal_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    value_format: str = "{:.3f}",
+    title: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    Bars are scaled so the largest value spans ``width`` characters.
+    """
+    if not values:
+        raise ModelError("cannot chart an empty mapping")
+    if width <= 0:
+        raise ModelError("width must be positive")
+    maximum = max(values.values())
+    if maximum <= 0:
+        raise ModelError("bar chart values must contain a positive maximum")
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        fraction = max(0.0, value / maximum)
+        filled = int(round(fraction * width))
+        bar = "█" * filled
+        lines.append(
+            f"{str(label).ljust(label_width)}  {bar.ljust(width)}  "
+            f"{value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(series: Sequence[float]) -> str:
+    """Render a compact one-line sparkline of a numeric series."""
+    if not series:
+        raise ModelError("cannot render an empty sparkline")
+    low = min(series)
+    high = max(series)
+    span = high - low
+    if span == 0:
+        return _BLOCKS[4] * len(series)
+    characters = []
+    for value in series:
+        index = int((value - low) / span * (len(_BLOCKS) - 1))
+        characters.append(_BLOCKS[index])
+    return "".join(characters)
+
+
+def series_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render several series as per-label grouped bars plus a sparkline."""
+    if not series:
+        raise ModelError("cannot chart an empty series mapping")
+    lines = [title] if title else []
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ModelError(
+                f"series {name!r} has {len(values)} values for {len(x_labels)} labels"
+            )
+        lines.append(f"{name}: {sparkline(list(values))}")
+        mapping = {str(label): value for label, value in zip(x_labels, values)}
+        lines.append(horizontal_bar_chart(mapping, width=width))
+        lines.append("")
+    return "\n".join(lines).rstrip()

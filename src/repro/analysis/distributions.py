@@ -1,0 +1,49 @@
+"""Cumulative distributions (Figure 3 machinery)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.errors import ModelError
+
+
+def cumulative_distribution(counts: Counter, max_value: int) -> list[float]:
+    """Cumulative percentage of samples with value <= N, for N in 0..max.
+
+    Values above ``max_value`` are folded into the last bucket so the
+    distribution always ends at 100%.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return [100.0] * (max_value + 1)
+    cdf: list[float] = []
+    running = 0
+    for value in range(max_value + 1):
+        running += counts.get(value, 0)
+        cdf.append(100.0 * running / total)
+    overflow = sum(count for value, count in counts.items() if value > max_value)
+    if overflow:
+        cdf[-1] = 100.0 * (running + overflow) / total
+    return cdf
+
+
+def average_cdfs(cdfs: Iterable[Sequence[float]]) -> list[float]:
+    """Point-wise average of several equally-sized CDFs (suite averages)."""
+    cdfs = [list(cdf) for cdf in cdfs]
+    if not cdfs:
+        raise ModelError("cannot average zero distributions")
+    length = len(cdfs[0])
+    if any(len(cdf) != length for cdf in cdfs):
+        raise ModelError("all distributions must have the same length")
+    return [sum(cdf[i] for cdf in cdfs) / len(cdfs) for i in range(length)]
+
+
+def percentile_from_cdf(cdf: Sequence[float], percentile: float) -> int:
+    """Smallest value whose cumulative percentage reaches ``percentile``."""
+    if not 0 < percentile <= 100:
+        raise ModelError("percentile must be in (0, 100]")
+    for value, cumulative in enumerate(cdf):
+        if cumulative >= percentile:
+            return value
+    return len(cdf) - 1

@@ -1,0 +1,75 @@
+"""Aggregate performance metrics.
+
+The paper reports per-suite averages as harmonic means of IPC (the
+correct mean for rates over a fixed instruction count) and speedups as
+ratios of those means (or of instruction throughput once the cycle time
+is factored in).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ModelError
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of strictly positive values.
+
+    Raises
+    ------
+    ModelError
+        If the sequence is empty or contains non-positive values.
+    """
+    values = list(values)
+    if not values:
+        raise ModelError("harmonic mean of an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ModelError("harmonic mean requires strictly positive values")
+    return len(values) / sum(1.0 / value for value in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    values = list(values)
+    if not values:
+        raise ModelError("geometric mean of an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ModelError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def speedup(candidate: float, baseline: float) -> float:
+    """Candidate/baseline ratio (>1 means the candidate is faster)."""
+    if baseline <= 0:
+        raise ModelError("baseline must be positive")
+    return candidate / baseline
+
+
+def percent_change(candidate: float, baseline: float) -> float:
+    """Signed percentage change of candidate relative to baseline."""
+    if baseline <= 0:
+        raise ModelError("baseline must be positive")
+    return 100.0 * (candidate - baseline) / baseline
+
+
+def relative_series(values: Mapping[str, float] | Sequence[float],
+                    baseline: float) -> dict | list:
+    """Normalise a series of values by ``baseline``.
+
+    Accepts either a mapping (returns a dict with the same keys) or a
+    sequence (returns a list).
+    """
+    if baseline <= 0:
+        raise ModelError("baseline must be positive")
+    if isinstance(values, Mapping):
+        return {key: value / baseline for key, value in values.items()}
+    return [value / baseline for value in values]
+
+
+def instruction_throughput(ipc: float, cycle_time_ns: float) -> float:
+    """Instructions per nanosecond given an IPC and a cycle time."""
+    if cycle_time_ns <= 0:
+        raise ModelError("cycle time must be positive")
+    return ipc / cycle_time_ns

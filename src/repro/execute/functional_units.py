@@ -1,0 +1,125 @@
+"""Functional unit pool.
+
+Table 1 of the paper: 6 simple integer units (1 cycle), 3 integer
+mult/div units (2-cycle multiply, 14-cycle divide), 4 simple FP units
+(2 cycles), 2 FP divide units (14 cycles) and 4 load/store units.
+Branches execute on the simple integer units.
+
+All units are fully pipelined except the dividers, which are busy for the
+whole operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.isa.opcodes import OpClass
+
+
+@dataclass(frozen=True)
+class FunctionalUnitConfig:
+    """Number of functional units of each kind (Table 1 defaults)."""
+
+    simple_int: int = 6
+    int_mul_div: int = 3
+    simple_fp: int = 4
+    fp_div: int = 2
+    load_store: int = 4
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0:
+                raise ConfigurationError(f"functional unit count {name} must be positive")
+
+
+#: Which FU group executes each operation class.
+_GROUP_FOR_CLASS: dict[OpClass, str] = {
+    OpClass.INT_ALU: "simple_int",
+    OpClass.BRANCH: "simple_int",
+    OpClass.NOP: "simple_int",
+    OpClass.INT_MUL: "int_mul_div",
+    OpClass.INT_DIV: "int_mul_div",
+    OpClass.FP_ALU: "simple_fp",
+    OpClass.FP_MUL: "simple_fp",
+    OpClass.FP_DIV: "fp_div",
+    OpClass.LOAD: "load_store",
+    OpClass.STORE: "load_store",
+}
+
+#: Operation classes whose units are NOT pipelined (busy for the full latency).
+_UNPIPELINED_CLASSES = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+
+@dataclass
+class _Group:
+    count: int
+    issued_this_cycle: int = 0
+    #: cycles at which currently busy (unpipelined) units become free
+    busy_until: list[int] = field(default_factory=list)
+
+
+class FunctionalUnitPool:
+    """Tracks per-cycle functional unit availability."""
+
+    def __init__(self, config: FunctionalUnitConfig | None = None) -> None:
+        self.config = config or FunctionalUnitConfig()
+        self._groups: dict[str, _Group] = {
+            "simple_int": _Group(self.config.simple_int),
+            "int_mul_div": _Group(self.config.int_mul_div),
+            "simple_fp": _Group(self.config.simple_fp),
+            "fp_div": _Group(self.config.fp_div),
+            "load_store": _Group(self.config.load_store),
+        }
+        self._cycle = -1
+        # statistics
+        self.issues_by_group: dict[str, int] = {name: 0 for name in self._groups}
+        self.structural_stalls = 0
+
+    @staticmethod
+    def group_for(op_class: OpClass) -> str:
+        """Name of the FU group that executes ``op_class``."""
+        return _GROUP_FOR_CLASS[op_class]
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset per-cycle issue counters and retire finished busy units."""
+        self._cycle = cycle
+        for group in self._groups.values():
+            group.issued_this_cycle = 0
+            group.busy_until = [c for c in group.busy_until if c > cycle]
+
+    def can_issue(self, op_class: OpClass, cycle: int) -> bool:
+        """Whether a unit for ``op_class`` can accept a new operation now."""
+        group = self._groups[_GROUP_FOR_CLASS[op_class]]
+        busy = len([c for c in group.busy_until if c > cycle])
+        available = group.count - busy - group.issued_this_cycle
+        return available > 0
+
+    def issue(self, op_class: OpClass, cycle: int, latency: int) -> None:
+        """Record that an operation started executing this cycle.
+
+        Callers must have checked :meth:`can_issue`; issuing beyond
+        capacity raises ``ConfigurationError`` to surface scheduler bugs.
+        """
+        if not self.can_issue(op_class, cycle):
+            raise ConfigurationError(
+                f"no free {_GROUP_FOR_CLASS[op_class]} unit at cycle {cycle}"
+            )
+        group_name = _GROUP_FOR_CLASS[op_class]
+        group = self._groups[group_name]
+        group.issued_this_cycle += 1
+        if op_class in _UNPIPELINED_CLASSES:
+            group.busy_until.append(cycle + latency)
+        self.issues_by_group[group_name] += 1
+
+    def record_structural_stall(self) -> None:
+        self.structural_stalls += 1
+
+    def utilization(self, total_cycles: int) -> dict[str, float]:
+        """Issues per unit per cycle, per group (rough utilization proxy)."""
+        if total_cycles <= 0:
+            return {name: 0.0 for name in self._groups}
+        return {
+            name: self.issues_by_group[name] / (group.count * total_cycles)
+            for name, group in self._groups.items()
+        }

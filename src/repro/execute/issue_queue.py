@@ -1,0 +1,188 @@
+"""Issue queue (instruction window) with wakeup/select.
+
+Instructions wait here after dispatch until their source operands are
+available and the structural resources they need (functional unit,
+register-file read ports, a present upper-level copy for a register file
+cache) can be secured.  The queue keeps, per physical register, the list
+of waiting consumers so that
+
+* producers finishing execution wake their dependents, and
+* the register-file caching policies ("ready caching") and the
+  prefetch-first-pair scheme can ask which consumers of a value exist in
+  the window and whether they are ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.execute.bypass import BypassNetwork
+from repro.execute.scoreboard import ValueScoreboard
+from repro.rename.renamer import PhysicalRegister, RenamedInstruction
+
+
+@dataclass
+class IssueQueueEntry:
+    """One instruction waiting in the window."""
+
+    renamed: RenamedInstruction
+    dispatch_cycle: int
+    #: Source registers whose producer completion time is not yet known.
+    pending: set[PhysicalRegister] = field(default_factory=set)
+    #: Earliest cycle this instruction could start executing, considering
+    #: operand availability through bypass/register file (structural
+    #: hazards can push the real execution later).
+    earliest_ex_cycle: int = 0
+    issued: bool = False
+    issue_cycle: Optional[int] = None
+
+    @property
+    def seq(self) -> int:
+        return self.renamed.seq
+
+    @property
+    def data_ready(self) -> bool:
+        """All source operands have a known availability time."""
+        return not self.pending
+
+
+class IssueQueue:
+    """Bounded out-of-order issue window."""
+
+    def __init__(
+        self,
+        capacity: int,
+        scoreboard: ValueScoreboard,
+        bypass: BypassNetwork,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("issue queue capacity must be positive")
+        self.capacity = capacity
+        self.scoreboard = scoreboard
+        self.bypass = bypass
+        self._entries: Dict[int, IssueQueueEntry] = {}
+        self._waiters: Dict[PhysicalRegister, List[IssueQueueEntry]] = {}
+        self._consumers: Dict[PhysicalRegister, List[IssueQueueEntry]] = {}
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # dispatch / wakeup
+    # ------------------------------------------------------------------
+
+    def dispatch(self, renamed: RenamedInstruction, cycle: int) -> IssueQueueEntry:
+        """Insert a renamed instruction into the window."""
+        if self.full:
+            raise SimulationError("issue queue overflow")
+        # An instruction cannot be selected in the cycle it is dispatched;
+        # the earliest issue is the next cycle, hence the earliest execute
+        # is ``dispatch + 1 + read_stages``.
+        entry = IssueQueueEntry(renamed=renamed, dispatch_cycle=cycle,
+                                earliest_ex_cycle=cycle + 1 + self.bypass.read_stages)
+        for register in renamed.sources:
+            self._consumers.setdefault(register, []).append(entry)
+            state = self.scoreboard.get(register)
+            if state.produced:
+                entry.earliest_ex_cycle = max(
+                    entry.earliest_ex_cycle,
+                    self.bypass.earliest_consumer_execute(state.ex_end_cycle),
+                )
+            else:
+                entry.pending.add(register)
+                self._waiters.setdefault(register, []).append(entry)
+        self._entries[renamed.seq] = entry
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return entry
+
+    def wakeup(self, register: PhysicalRegister, ex_end_cycle: int) -> List[IssueQueueEntry]:
+        """Notify waiting consumers that ``register``'s producer finishes at
+        ``ex_end_cycle``.  Returns the entries that became data-ready."""
+        became_ready: List[IssueQueueEntry] = []
+        waiters = self._waiters.pop(register, [])
+        availability = self.bypass.earliest_consumer_execute(ex_end_cycle)
+        for entry in waiters:
+            if entry.issued:
+                continue
+            entry.pending.discard(register)
+            entry.earliest_ex_cycle = max(entry.earliest_ex_cycle, availability)
+            if entry.data_ready:
+                became_ready.append(entry)
+        return became_ready
+
+    # ------------------------------------------------------------------
+    # select
+    # ------------------------------------------------------------------
+
+    def schedulable(self, cycle: int) -> List[IssueQueueEntry]:
+        """Entries whose operands allow execution to start at
+        ``cycle + read_stages``, oldest first."""
+        ex_start = cycle + self.bypass.read_stages
+        candidates = [
+            entry
+            for entry in self._entries.values()
+            if not entry.issued and entry.data_ready and entry.earliest_ex_cycle <= ex_start
+        ]
+        candidates.sort(key=lambda entry: entry.seq)
+        return candidates
+
+    def mark_issued(self, entry: IssueQueueEntry, cycle: int) -> None:
+        """Remove an entry from the window once it has been selected."""
+        if entry.issued:
+            raise SimulationError(f"instruction {entry.seq} issued twice")
+        entry.issued = True
+        entry.issue_cycle = cycle
+        self._entries.pop(entry.seq, None)
+        for register in entry.renamed.sources:
+            consumers = self._consumers.get(register)
+            if consumers is not None:
+                self._consumers[register] = [e for e in consumers if e.seq != entry.seq]
+                if not self._consumers[register]:
+                    del self._consumers[register]
+            waiters = self._waiters.get(register)
+            if waiters is not None:
+                self._waiters[register] = [e for e in waiters if e.seq != entry.seq]
+                if not self._waiters[register]:
+                    del self._waiters[register]
+
+    def defer(self, entry: IssueQueueEntry, until_cycle: int) -> None:
+        """Delay an entry (e.g. waiting for an upper-level fill)."""
+        entry.earliest_ex_cycle = max(
+            entry.earliest_ex_cycle, until_cycle + self.bypass.read_stages
+        )
+
+    # ------------------------------------------------------------------
+    # queries used by caching / prefetch policies and statistics
+    # ------------------------------------------------------------------
+
+    def waiting_consumers_of(self, register: PhysicalRegister) -> List[IssueQueueEntry]:
+        """Not-yet-issued window entries that source ``register``."""
+        return [e for e in self._consumers.get(register, []) if not e.issued]
+
+    def entries(self) -> List[IssueQueueEntry]:
+        return list(self._entries.values())
+
+    def oldest_seq(self) -> Optional[int]:
+        """Sequence number of the oldest instruction still waiting, if any."""
+        for seq in self._entries:
+            return seq
+        return None
+
+    def waiting_source_registers(self) -> set[PhysicalRegister]:
+        """All physical registers that are sources of waiting instructions."""
+        registers: set[PhysicalRegister] = set()
+        for entry in self._entries.values():
+            registers.update(entry.renamed.sources)
+        return registers

@@ -1,0 +1,109 @@
+"""Reorder buffer.
+
+Instructions enter the ROB in program order at dispatch and leave in
+program order at commit, up to the commit width per cycle, once they have
+completed execution.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rename.renamer import RenamedInstruction
+
+
+@dataclass
+class ROBEntry:
+    """Lifecycle record of one in-flight instruction."""
+
+    renamed: RenamedInstruction
+    dispatch_cycle: int
+    completed: bool = False
+    complete_cycle: Optional[int] = None
+    issue_cycle: Optional[int] = None
+
+    @property
+    def seq(self) -> int:
+        return self.renamed.seq
+
+
+class ReorderBuffer:
+    """A bounded, program-ordered reorder buffer."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("ROB capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, ROBEntry]" = OrderedDict()
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def dispatch(self, renamed: RenamedInstruction, cycle: int) -> ROBEntry:
+        """Insert an instruction at the tail (program order)."""
+        if self.full:
+            raise SimulationError("ROB overflow")
+        if self._entries and next(reversed(self._entries)) >= renamed.seq:
+            raise SimulationError("ROB entries must be dispatched in program order")
+        entry = ROBEntry(renamed=renamed, dispatch_cycle=cycle)
+        self._entries[renamed.seq] = entry
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return entry
+
+    def mark_issued(self, seq: int, cycle: int) -> None:
+        entry = self._get(seq)
+        entry.issue_cycle = cycle
+
+    def mark_completed(self, seq: int, cycle: int) -> None:
+        entry = self._get(seq)
+        entry.completed = True
+        entry.complete_cycle = cycle
+
+    def _get(self, seq: int) -> ROBEntry:
+        entry = self._entries.get(seq)
+        if entry is None:
+            raise SimulationError(f"no ROB entry for seq {seq}")
+        return entry
+
+    def committable(self, width: int, cycle: int) -> List[ROBEntry]:
+        """Return up to ``width`` head entries that completed before ``cycle``.
+
+        A completed instruction commits at the earliest one cycle after it
+        completes (write-back and commit are separate stages).
+        """
+        ready: List[ROBEntry] = []
+        for entry in self._entries.values():
+            if len(ready) >= width:
+                break
+            if entry.completed and entry.complete_cycle is not None and entry.complete_cycle < cycle:
+                ready.append(entry)
+            else:
+                break
+        return ready
+
+    def commit(self, seq: int) -> ROBEntry:
+        """Remove and return the head entry, which must have seq ``seq``."""
+        if not self._entries:
+            raise SimulationError("commit from an empty ROB")
+        head_seq = next(iter(self._entries))
+        if head_seq != seq:
+            raise SimulationError(f"commit out of order: head is {head_seq}, got {seq}")
+        return self._entries.popitem(last=False)[1]
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[ROBEntry]:
+        return list(self._entries.values())

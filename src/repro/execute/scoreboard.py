@@ -1,0 +1,142 @@
+"""Value scoreboard: timing state of every physical register's value.
+
+The scoreboard records, for each physical register currently in use, when
+its value is produced (end of the producer's execution), when it becomes
+readable from the register file (after write-port arbitration), and
+whether any consumer obtained it through the bypass network.  Both the
+issue logic and the register-file caching policies consult it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.rename.renamer import PhysicalRegister
+
+
+#: Sentinel for "not yet known".
+UNKNOWN = None
+
+
+@dataclass
+class ValueState:
+    """Timing state of the value held by one physical register."""
+
+    register: PhysicalRegister
+    producer_seq: Optional[int] = None
+    #: Cycle at the end of which the producing operation finishes executing
+    #: (None while unknown, e.g. the producer has not started executing).
+    ex_end_cycle: Optional[int] = None
+    #: Cycle from which the value can be read from the register file
+    #: (lowest level for a register file cache).
+    rf_ready_cycle: Optional[int] = None
+    #: Whether at least one consumer obtained this value from the bypass
+    #: network (input to the non-bypass caching policy).
+    consumed_via_bypass: bool = False
+    #: Total number of consumers that have read the value so far, and how.
+    reads_from_bypass: int = 0
+    reads_from_upper: int = 0
+    reads_from_lower: int = 0
+    #: Whether the value has been written back to the (lowest) bank.
+    written_back: bool = False
+    #: For architecture-specific annotations (e.g. pending fill).
+    annotations: dict = field(default_factory=dict)
+
+    @property
+    def produced(self) -> bool:
+        """Whether the producing instruction's finish time is known."""
+        return self.ex_end_cycle is not None
+
+
+class ValueScoreboard:
+    """Tracks :class:`ValueState` for all live physical registers."""
+
+    def __init__(self) -> None:
+        self._states: Dict[PhysicalRegister, ValueState] = {}
+        # Architected (initial) values are considered always available.
+        self._architected: set[PhysicalRegister] = set()
+
+    # ------------------------------------------------------------------
+
+    def seed_architected(self, register: PhysicalRegister) -> None:
+        """Mark ``register`` as holding an architected value available from
+        cycle 0 (used for the initial logical→physical mappings)."""
+        state = ValueState(
+            register=register,
+            producer_seq=-1,
+            ex_end_cycle=-1,
+            rf_ready_cycle=0,
+            written_back=True,
+        )
+        self._states[register] = state
+        self._architected.add(register)
+
+    def allocate(self, register: PhysicalRegister, producer_seq: int) -> ValueState:
+        """Create a fresh state when ``register`` is allocated at rename."""
+        state = ValueState(register=register, producer_seq=producer_seq)
+        self._states[register] = state
+        return state
+
+    def release(self, register: PhysicalRegister) -> None:
+        """Drop the state when the register returns to the free list."""
+        self._states.pop(register, None)
+        self._architected.discard(register)
+
+    def get(self, register: PhysicalRegister) -> ValueState:
+        """Return the state of ``register``.
+
+        Raises
+        ------
+        SimulationError
+            If the register has no recorded state (reading a register that
+            was never allocated indicates a renaming bug).
+        """
+        state = self._states.get(register)
+        if state is None:
+            raise SimulationError(f"no scoreboard state for {register}")
+        return state
+
+    def contains(self, register: PhysicalRegister) -> bool:
+        return register in self._states
+
+    # ------------------------------------------------------------------
+    # producer-side updates
+    # ------------------------------------------------------------------
+
+    def set_execution_end(self, register: PhysicalRegister, ex_end_cycle: int) -> None:
+        """Record the cycle at which the producer finishes executing."""
+        state = self.get(register)
+        state.ex_end_cycle = ex_end_cycle
+
+    def set_rf_ready(self, register: PhysicalRegister, cycle: int) -> None:
+        """Record when the value becomes readable from the register file."""
+        state = self.get(register)
+        state.rf_ready_cycle = cycle
+        state.written_back = True
+
+    # ------------------------------------------------------------------
+    # consumer-side updates
+    # ------------------------------------------------------------------
+
+    def record_read(self, register: PhysicalRegister, source: str) -> None:
+        """Record a consumer read; ``source`` is 'bypass', 'upper' or 'lower'."""
+        state = self.get(register)
+        if source == "bypass":
+            state.consumed_via_bypass = True
+            state.reads_from_bypass += 1
+        elif source == "upper":
+            state.reads_from_upper += 1
+        elif source == "lower":
+            state.reads_from_lower += 1
+        else:
+            raise SimulationError(f"unknown read source {source!r}")
+
+    # ------------------------------------------------------------------
+
+    def live_registers(self) -> list[PhysicalRegister]:
+        return list(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)

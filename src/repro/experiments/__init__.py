@@ -1,0 +1,56 @@
+"""Experiment harness: one module per figure/table of the paper's evaluation.
+
+Every experiment module exposes a ``run(settings)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
+method prints the same rows/series the paper reports.  The
+:mod:`repro.experiments.runner` module ties them together for the
+command line::
+
+    python -m repro.experiments.runner --experiment figure6 --instructions 8000
+"""
+
+from repro.experiments.common import (
+    ExperimentSettings,
+    ExperimentResult,
+    SimulationCache,
+    architecture_factories,
+    one_cycle_factory,
+    two_cycle_full_bypass_factory,
+    two_cycle_one_bypass_factory,
+    register_file_cache_factory,
+)
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9_table2,
+    value_reuse,
+    headline,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "ExperimentResult",
+    "SimulationCache",
+    "architecture_factories",
+    "one_cycle_factory",
+    "two_cycle_full_bypass_factory",
+    "two_cycle_one_bypass_factory",
+    "register_file_cache_factory",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9_table2",
+    "value_reuse",
+    "headline",
+    "ablations",
+]

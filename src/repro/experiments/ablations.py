@@ -1,0 +1,190 @@
+"""Ablation studies beyond the paper's published figures.
+
+The paper's conclusions call out several design choices whose sensitivity
+is worth quantifying, and mention the one-level organisation as ongoing
+work.  This module provides four ablations of the register file cache on
+a configurable benchmark subset:
+
+* **upper-level capacity** — how large does the upper bank have to be
+  (the paper fixes 16 registers)?
+* **caching policy** — non-bypass and ready caching versus the
+  always-cache and never-cache baselines.
+* **number of buses** — how much inter-level bandwidth is needed for the
+  demand fills and prefetches?
+* **one-level banked organisation** — the alternative sketched in
+  Figure 4a, with the register file split into interleaved banks that all
+  feed the functional units.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.tables import format_series
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    SimulationCache,
+    one_cycle_factory,
+    register_file_cache_factory,
+    suite_harmonic_mean,
+)
+from repro.regfile.banked import OneLevelBankedRegisterFile
+
+#: Upper-level capacities swept by the capacity ablation.
+UPPER_CAPACITIES: Sequence[int] = (4, 8, 16, 32, 64)
+#: Bus counts swept by the bandwidth ablation.
+BUS_COUNTS: Sequence[int] = (1, 2, 4)
+#: Caching policies compared by the policy ablation.
+CACHING_POLICIES: Sequence[str] = ("non-bypass", "ready", "always", "never")
+#: Bank counts for the one-level organisation.
+BANK_COUNTS: Sequence[int] = (2, 4)
+
+
+def _suite_hmeans(cache: SimulationCache, factory, key: str) -> Dict[str, float]:
+    return {
+        "SpecInt95": suite_harmonic_mean(cache.suite_ipcs("int", factory, key)),
+        "SpecFP95": suite_harmonic_mean(cache.suite_ipcs("fp", factory, key)),
+    }
+
+
+def upper_capacity_sweep(
+    settings: Optional[ExperimentSettings] = None,
+    cache: Optional[SimulationCache] = None,
+    capacities: Sequence[int] = UPPER_CAPACITIES,
+) -> ExperimentResult:
+    """IPC of the register file cache as the upper-level size varies."""
+    settings = settings or ExperimentSettings()
+    cache = cache or SimulationCache(settings)
+    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    for capacity in capacities:
+        factory = register_file_cache_factory(upper_capacity=capacity)
+        hmeans = _suite_hmeans(cache, factory, f"rfc/cap{capacity}")
+        for suite, value in hmeans.items():
+            series[suite][f"{capacity} regs"] = value
+    baseline = _suite_hmeans(cache, one_cycle_factory(), "1-cycle")
+    for suite, value in baseline.items():
+        series[suite]["1-cycle file"] = value
+    body = format_series(series, title="Harmonic-mean IPC vs upper-level capacity")
+    return ExperimentResult(
+        name="Ablation: upper-level capacity",
+        title="Register file cache IPC for varying upper-level sizes",
+        body=body,
+        data={"series": series, "capacities": list(capacities)},
+    )
+
+
+def caching_policy_sweep(
+    settings: Optional[ExperimentSettings] = None,
+    cache: Optional[SimulationCache] = None,
+    policies: Sequence[str] = CACHING_POLICIES,
+) -> ExperimentResult:
+    """IPC of the register file cache under different caching policies."""
+    settings = settings or ExperimentSettings()
+    cache = cache or SimulationCache(settings)
+    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    for policy in policies:
+        factory = register_file_cache_factory(caching=policy)
+        # "always"/"never" are not supported by the helper's ready/non-bypass
+        # switch, so build those two variants directly.
+        if policy in ("always", "never"):
+            from repro.regfile.cache import RegisterFileCache
+            from repro.regfile.policies import caching_policy_by_name
+            from repro.regfile.prefetch import PrefetchFirstPair
+
+            def factory(policy_name: str = policy):
+                return RegisterFileCache(
+                    caching_policy=caching_policy_by_name(policy_name),
+                    fetch_policy=PrefetchFirstPair(),
+                )
+        hmeans = _suite_hmeans(cache, factory, f"rfc/policy/{policy}")
+        for suite, value in hmeans.items():
+            series[suite][policy] = value
+    body = format_series(series, title="Harmonic-mean IPC vs caching policy")
+    return ExperimentResult(
+        name="Ablation: caching policy",
+        title="Register file cache IPC under different caching policies",
+        body=body,
+        data={"series": series},
+    )
+
+
+def bus_count_sweep(
+    settings: Optional[ExperimentSettings] = None,
+    cache: Optional[SimulationCache] = None,
+    bus_counts: Sequence[int] = BUS_COUNTS,
+) -> ExperimentResult:
+    """IPC of the register file cache as inter-level bandwidth varies."""
+    settings = settings or ExperimentSettings()
+    cache = cache or SimulationCache(settings)
+    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    for buses in bus_counts:
+        factory = register_file_cache_factory(buses=buses)
+        hmeans = _suite_hmeans(cache, factory, f"rfc/buses{buses}")
+        for suite, value in hmeans.items():
+            series[suite][f"{buses} buses"] = value
+    body = format_series(series, title="Harmonic-mean IPC vs number of inter-level buses")
+    return ExperimentResult(
+        name="Ablation: inter-level buses",
+        title="Register file cache IPC for varying bus counts",
+        body=body,
+        data={"series": series},
+    )
+
+
+def one_level_banked_comparison(
+    settings: Optional[ExperimentSettings] = None,
+    cache: Optional[SimulationCache] = None,
+    bank_counts: Sequence[int] = BANK_COUNTS,
+    read_ports_per_bank: int = 2,
+    write_ports_per_bank: int = 2,
+) -> ExperimentResult:
+    """The one-level multiple-banked organisation vs the register file cache."""
+    settings = settings or ExperimentSettings()
+    cache = cache or SimulationCache(settings)
+    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    for banks in bank_counts:
+        def factory(banks: int = banks) -> OneLevelBankedRegisterFile:
+            return OneLevelBankedRegisterFile(
+                num_banks=banks,
+                read_ports_per_bank=read_ports_per_bank,
+                write_ports_per_bank=write_ports_per_bank,
+            )
+        hmeans = _suite_hmeans(cache, factory, f"one-level/{banks}banks")
+        for suite, value in hmeans.items():
+            series[suite][f"one-level, {banks} banks"] = value
+    rfc = _suite_hmeans(cache, register_file_cache_factory(),
+                        "rfc/non-bypass/prefetch-first-pair")
+    one_cycle = _suite_hmeans(cache, one_cycle_factory(), "1-cycle")
+    for suite in series:
+        series[suite]["register file cache"] = rfc[suite]
+        series[suite]["1-cycle file"] = one_cycle[suite]
+    body = format_series(series, title="Harmonic-mean IPC, one-level banked organisation")
+    return ExperimentResult(
+        name="Ablation: one-level organisation",
+        title="One-level multiple-banked register file vs the register file cache",
+        body=body,
+        data={"series": series},
+    )
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    cache: Optional[SimulationCache] = None,
+) -> ExperimentResult:
+    """Run all four ablations and concatenate their reports."""
+    settings = settings or ExperimentSettings()
+    cache = cache or SimulationCache(settings)
+    parts = [
+        upper_capacity_sweep(settings, cache),
+        caching_policy_sweep(settings, cache),
+        bus_count_sweep(settings, cache),
+        one_level_banked_comparison(settings, cache),
+    ]
+    body = "\n\n".join(part.body for part in parts)
+    return ExperimentResult(
+        name="Ablations",
+        title="Design-choice ablations of the register file cache",
+        body=body,
+        data={part.name: part.data for part in parts},
+    )

@@ -1,0 +1,217 @@
+"""Shared infrastructure for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import harmonic_mean
+from repro.errors import ConfigurationError
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.pipeline.stats import SimulationStats
+from repro.regfile.base import RegisterFileModel, UNLIMITED
+from repro.regfile.cache import RegisterFileCache
+from repro.regfile.monolithic import SingleBankedRegisterFile
+from repro.regfile.policies import CachingPolicy, NonBypassCaching, ReadyCaching
+from repro.regfile.prefetch import FetchOnDemand, FetchPolicy, PrefetchFirstPair
+from repro.workloads.profiles import get_profile
+from repro.workloads.spec_suites import SPECFP95, SPECINT95
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Type of a register file factory as accepted by the processor model.
+RegfileFactory = Callable[[], RegisterFileModel]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiments.
+
+    ``instructions_per_benchmark`` trades fidelity for run time; the
+    default keeps a full-suite experiment in the tens of seconds on a
+    laptop.  ``benchmarks`` restricts the suite (useful for quick looks
+    and for the pytest-benchmark harness).
+    """
+
+    instructions_per_benchmark: int = 8_000
+    warmup_instructions: int = 2_000
+    benchmarks: Optional[Sequence[str]] = None
+    base_config: ProcessorConfig = field(default_factory=ProcessorConfig)
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_benchmark <= 0:
+            raise ConfigurationError("instructions_per_benchmark must be positive")
+        if self.warmup_instructions < 0:
+            raise ConfigurationError("warmup_instructions cannot be negative")
+
+    def suite(self, which: str) -> Sequence[str]:
+        """Benchmarks of a suite ("int", "fp" or "all"), honouring the filter."""
+        if which == "int":
+            names = SPECINT95
+        elif which == "fp":
+            names = SPECFP95
+        else:
+            names = SPECINT95 + SPECFP95
+        if self.benchmarks is None:
+            return names
+        selected = [name for name in names if name in self.benchmarks]
+        return selected or list(names[:1])
+
+    def processor_config(self, **overrides) -> ProcessorConfig:
+        """Processor configuration with the experiment's instruction budget."""
+        merged = {"max_instructions": self.instructions_per_benchmark}
+        merged.update(overrides)
+        return self.base_config.with_overrides(**merged)
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment: a title, text body and raw data."""
+
+    name: str
+    title: str
+    body: str
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"=== {self.name}: {self.title} ==="
+        return f"{header}\n{self.body}\n"
+
+
+# ----------------------------------------------------------------------
+# architecture factories
+# ----------------------------------------------------------------------
+
+
+def one_cycle_factory(read_ports: Optional[int] = UNLIMITED,
+                      write_ports: Optional[int] = UNLIMITED) -> RegfileFactory:
+    """Non-pipelined single-banked register file (1 cycle, 1 bypass level)."""
+    return lambda: SingleBankedRegisterFile(
+        latency=1, bypass_levels=1, read_ports=read_ports, write_ports=write_ports,
+        name="1-cycle single-banked",
+    )
+
+
+def two_cycle_full_bypass_factory(read_ports: Optional[int] = UNLIMITED,
+                                  write_ports: Optional[int] = UNLIMITED) -> RegfileFactory:
+    """Pipelined single-banked register file with full (two-level) bypass."""
+    return lambda: SingleBankedRegisterFile(
+        latency=2, bypass_levels=2, read_ports=read_ports, write_ports=write_ports,
+        name="2-cycle single-banked, full bypass",
+    )
+
+
+def two_cycle_one_bypass_factory(read_ports: Optional[int] = UNLIMITED,
+                                 write_ports: Optional[int] = UNLIMITED) -> RegfileFactory:
+    """Pipelined single-banked register file with a single bypass level."""
+    return lambda: SingleBankedRegisterFile(
+        latency=2, bypass_levels=1, read_ports=read_ports, write_ports=write_ports,
+        name="2-cycle single-banked, 1 bypass",
+    )
+
+
+def register_file_cache_factory(
+    caching: str = "non-bypass",
+    fetch: str = "prefetch-first-pair",
+    upper_read_ports: Optional[int] = UNLIMITED,
+    upper_write_ports: Optional[int] = UNLIMITED,
+    lower_write_ports: Optional[int] = UNLIMITED,
+    buses: Optional[int] = UNLIMITED,
+    upper_capacity: int = 16,
+    lower_read_latency: int = 1,
+) -> RegfileFactory:
+    """Register file cache with the given policies and port counts."""
+
+    def build() -> RegisterFileCache:
+        caching_policy: CachingPolicy = (
+            NonBypassCaching() if caching == "non-bypass" else ReadyCaching()
+        )
+        fetch_policy: FetchPolicy = (
+            PrefetchFirstPair() if fetch == "prefetch-first-pair" else FetchOnDemand()
+        )
+        return RegisterFileCache(
+            upper_capacity=upper_capacity,
+            caching_policy=caching_policy,
+            fetch_policy=fetch_policy,
+            upper_read_ports=upper_read_ports,
+            upper_write_ports=upper_write_ports,
+            lower_write_ports=lower_write_ports,
+            num_buses=buses,
+            lower_read_latency=lower_read_latency,
+        )
+
+    return build
+
+
+def architecture_factories() -> Dict[str, RegfileFactory]:
+    """The three architectures compared throughout the paper (unlimited ports)."""
+    return {
+        "1-cycle": one_cycle_factory(),
+        "register file cache": register_file_cache_factory(),
+        "2-cycle, 1-bypass": two_cycle_one_bypass_factory(),
+        "2-cycle, full bypass": two_cycle_full_bypass_factory(),
+    }
+
+
+# ----------------------------------------------------------------------
+# simulation driving and caching
+# ----------------------------------------------------------------------
+
+
+class SimulationCache:
+    """Memoizes simulation results within one process.
+
+    Several figures share the same baseline runs (e.g. the 1-cycle
+    unlimited-port configuration); the cache avoids re-simulating them.
+    """
+
+    def __init__(self, settings: ExperimentSettings) -> None:
+        self.settings = settings
+        self._results: Dict[tuple, SimulationStats] = {}
+
+    def run(
+        self,
+        benchmark: str,
+        factory: RegfileFactory,
+        key: str,
+        config: Optional[ProcessorConfig] = None,
+    ) -> SimulationStats:
+        """Simulate ``benchmark`` on the architecture labelled ``key``."""
+        config = config or self.settings.processor_config()
+        cache_key = (benchmark, key, config.max_instructions,
+                     config.num_int_physical, config.collect_occupancy,
+                     config.instruction_window, config.rob_size)
+        if cache_key in self._results:
+            return self._results[cache_key]
+        workload = SyntheticWorkload(get_profile(benchmark))
+        stream = workload.instructions(
+            config.max_instructions + self.settings.warmup_instructions
+        )
+        stats = simulate(stream, factory, config, benchmark_name=benchmark)
+        self._results[cache_key] = stats
+        return stats
+
+    def suite_ipcs(
+        self,
+        suite: str,
+        factory: RegfileFactory,
+        key: str,
+        config: Optional[ProcessorConfig] = None,
+    ) -> Dict[str, float]:
+        """IPC of every benchmark of ``suite`` on one architecture."""
+        return {
+            benchmark: self.run(benchmark, factory, key, config).ipc
+            for benchmark in self.settings.suite(suite)
+        }
+
+
+def suite_harmonic_mean(ipcs: Mapping[str, float]) -> float:
+    """Harmonic mean over a benchmark → IPC mapping."""
+    return harmonic_mean(ipcs.values())
+
+
+def with_hmean(ipcs: Mapping[str, float]) -> Dict[str, float]:
+    """Copy of ``ipcs`` with an ``Hmean`` entry appended."""
+    extended = dict(ipcs)
+    extended["Hmean"] = suite_harmonic_mean(ipcs)
+    return extended

@@ -1,0 +1,64 @@
+"""Figure 1: IPC versus the number of physical registers.
+
+The paper varies the number of physical registers from 48 to 256 (per
+register class) on an 8-way processor with a 256-entry reorder buffer and
+instruction queue and a 1-cycle register file, and plots the harmonic
+mean IPC of SpecInt95 and SpecFP95.  The expected shape: IPC grows with
+the register count and flattens beyond roughly 128 registers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.tables import format_figure
+from repro.experiments.common import (
+    ExperimentResult,
+    ExperimentSettings,
+    SimulationCache,
+    one_cycle_factory,
+    suite_harmonic_mean,
+)
+
+#: Register counts swept by the paper.
+REGISTER_COUNTS: tuple[int, ...] = (48, 64, 96, 128, 160, 192, 224, 256)
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    register_counts: Sequence[int] = REGISTER_COUNTS,
+    cache: Optional[SimulationCache] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 1."""
+    settings = settings or ExperimentSettings()
+    cache = cache or SimulationCache(settings)
+    factory = one_cycle_factory()
+
+    series: dict[str, list[float]] = {"SpecInt95": [], "SpecFP95": []}
+    per_benchmark: dict[int, dict[str, float]] = {}
+    for count in register_counts:
+        config = settings.processor_config(
+            num_int_physical=count,
+            num_fp_physical=count,
+            instruction_window=256,
+            rob_size=256,
+        )
+        ipcs_int = cache.suite_ipcs("int", factory, f"1-cycle/{count}regs", config)
+        ipcs_fp = cache.suite_ipcs("fp", factory, f"1-cycle/{count}regs", config)
+        per_benchmark[count] = {**ipcs_int, **ipcs_fp}
+        series["SpecInt95"].append(suite_harmonic_mean(ipcs_int))
+        series["SpecFP95"].append(suite_harmonic_mean(ipcs_fp))
+
+    body = format_figure(
+        list(register_counts),
+        series,
+        title="Harmonic-mean IPC vs number of physical registers "
+              "(1-cycle register file, 256-entry window/ROB)",
+    )
+    return ExperimentResult(
+        name="Figure 1",
+        title="IPC for a varying number of physical registers",
+        body=body,
+        data={"register_counts": list(register_counts), "series": series,
+              "per_benchmark": per_benchmark},
+    )

@@ -1,0 +1,100 @@
+"""Command-line driver for the experiment harness.
+
+Examples
+--------
+
+Run a single figure with a reduced instruction budget::
+
+    python -m repro.experiments.runner --experiment figure6 --instructions 5000
+
+Run everything (slow) and save the report::
+
+    python -m repro.experiments.runner --experiment all --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9_table2,
+    headline,
+    value_reuse,
+)
+from repro.experiments.common import ExperimentResult, ExperimentSettings, SimulationCache
+
+#: All experiments in the order they appear in the paper.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "value_reuse": value_reuse.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9_table2.run,
+    "headline": headline.run,
+    "ablations": ablations.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--experiment", default="headline",
+                        choices=list(EXPERIMENTS) + ["all"],
+                        help="which experiment to run (default: headline)")
+    parser.add_argument("--instructions", type=int, default=8000,
+                        help="committed instructions per benchmark per run")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="restrict to these benchmarks (default: full SPEC95)")
+    parser.add_argument("--output", default=None,
+                        help="write the report to this file as well as stdout")
+    return parser
+
+
+def run_experiments(
+    names: Sequence[str],
+    settings: ExperimentSettings,
+) -> list[ExperimentResult]:
+    """Run the named experiments, sharing one simulation cache."""
+    cache = SimulationCache(settings)
+    results = []
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](settings, cache=cache)
+        result.data["elapsed_seconds"] = round(time.time() - started, 1)
+        results.append(result)
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = ExperimentSettings(
+        instructions_per_benchmark=args.instructions,
+        benchmarks=args.benchmarks,
+    )
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    results = run_experiments(names, settings)
+    report = "\n".join(result.render() for result in results)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

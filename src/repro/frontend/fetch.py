@@ -1,0 +1,190 @@
+"""Instruction fetch unit.
+
+Models an 8-wide fetch stage (Table 1: up to one taken branch per cycle)
+fed by a dynamic instruction stream, an I-cache timing model, a gshare
+direction predictor and a BTB.
+
+Because the simulator is stream driven (it only has the correct execution
+path), branch mispredictions are modelled the standard trace-driven way:
+the fetch unit keeps fetching down the correct path, but the processor
+blocks fetch from the cycle after a mispredicted branch is fetched until
+the branch resolves, which charges the full front-end refill penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.gshare import GSharePredictor
+from repro.isa.instruction import DynamicInstruction
+from repro.memsys.cache import CacheModel
+
+
+@dataclass
+class FetchedInstruction:
+    """A dynamic instruction annotated with front-end prediction state."""
+
+    instruction: DynamicInstruction
+    fetch_cycle: int
+    predicted_taken: bool = False
+    predicted_target: Optional[int] = None
+    btb_hit: bool = False
+    history_checkpoint: int = 0
+    mispredicted: bool = False
+
+    @property
+    def seq(self) -> int:
+        return self.instruction.seq
+
+
+class FetchUnit:
+    """Fetches up to ``width`` instructions per cycle from a stream."""
+
+    #: Bubble (cycles) when a predicted-taken branch misses in the BTB and
+    #: the target has to be produced by the decoder.
+    _BTB_MISS_BUBBLE = 2
+
+    def __init__(
+        self,
+        stream: Iterator[DynamicInstruction],
+        icache: CacheModel,
+        predictor: GSharePredictor,
+        btb: BranchTargetBuffer,
+        width: int = 8,
+    ) -> None:
+        if width <= 0:
+            raise ConfigurationError("fetch width must be positive")
+        self._stream = iter(stream)
+        self.icache = icache
+        self.predictor = predictor
+        self.btb = btb
+        self.width = width
+        self._pending: Optional[DynamicInstruction] = None
+        self._exhausted = False
+        self._stalled_until = -1
+        self._blocked_on_seq: Optional[int] = None
+        # statistics
+        self.fetched_instructions = 0
+        self.icache_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying stream has been fully consumed."""
+        return self._exhausted and self._pending is None
+
+    @property
+    def blocked(self) -> bool:
+        """True while waiting for a mispredicted branch to resolve."""
+        return self._blocked_on_seq is not None
+
+    def block_on_branch(self, seq: int) -> None:
+        """Stop fetching until the mispredicted branch ``seq`` resolves."""
+        if self._blocked_on_seq is None or seq < self._blocked_on_seq:
+            self._blocked_on_seq = seq
+
+    def branch_resolved(self, seq: int, cycle: int) -> None:
+        """Resume fetch (from ``cycle`` + 1) after branch ``seq`` resolves."""
+        if self._blocked_on_seq is not None and seq >= self._blocked_on_seq:
+            self._blocked_on_seq = None
+            self._stalled_until = max(self._stalled_until, cycle)
+
+    # ------------------------------------------------------------------
+
+    def _next_instruction(self) -> Optional[DynamicInstruction]:
+        if self._pending is not None:
+            inst = self._pending
+            self._pending = None
+            return inst
+        if self._exhausted:
+            return None
+        try:
+            return next(self._stream)
+        except StopIteration:
+            self._exhausted = True
+            return None
+
+    def _push_back(self, inst: DynamicInstruction) -> None:
+        assert self._pending is None
+        self._pending = inst
+
+    def fetch(self, cycle: int) -> List[FetchedInstruction]:
+        """Fetch the group of instructions for ``cycle``.
+
+        Returns an empty list when stalled (I-cache miss refill, blocked on
+        an unresolved mispredicted branch) or when the stream is exhausted.
+        """
+        if self.blocked or cycle <= self._stalled_until:
+            return []
+
+        group: List[FetchedInstruction] = []
+        current_line: Optional[int] = None
+        line_bytes = self.icache.config.line_bytes
+
+        while len(group) < self.width:
+            inst = self._next_instruction()
+            if inst is None:
+                break
+
+            line = inst.pc // line_bytes
+            if current_line is None or line != current_line:
+                if current_line is not None and len(group) > 0 and line != current_line + 1:
+                    # A discontinuous fetch (taken branch target) cannot be
+                    # serviced in the same cycle beyond the first line.
+                    pass
+                result = self.icache.access(inst.pc)
+                if not result.hit:
+                    # The group ends; refill charges latency-1 extra cycles.
+                    stall = result.latency - self.icache.config.hit_latency
+                    self._stalled_until = cycle + stall
+                    self.icache_stall_cycles += stall
+                    if not group:
+                        # Retry this instruction once the line arrives.
+                        self._push_back(inst)
+                        return group
+                    self._push_back(inst)
+                    return group
+                current_line = line
+
+            fetched = self._annotate(inst, cycle)
+            group.append(fetched)
+            self.fetched_instructions += 1
+
+            if fetched.mispredicted:
+                # Everything after a mispredicted branch would be wrong-path
+                # work; stop fetching until the branch resolves.
+                self.block_on_branch(inst.seq)
+                break
+            if inst.is_branch and (fetched.predicted_taken or inst.branch_taken):
+                # At most one taken branch per cycle: the group ends here.
+                break
+
+        return group
+
+    def _annotate(self, inst: DynamicInstruction, cycle: int) -> FetchedInstruction:
+        if not inst.is_branch:
+            return FetchedInstruction(instruction=inst, fetch_cycle=cycle)
+
+        predicted_taken, checkpoint = self.predictor.predict(inst.pc)
+        target = self.btb.lookup(inst.pc)
+        btb_hit = target is not None
+        mispredicted = predicted_taken != inst.branch_taken
+        if predicted_taken and inst.branch_taken and not btb_hit:
+            # Correct direction but no cached target: the front end redirects
+            # from decode instead of fetch, costing a short bubble.
+            self._stalled_until = max(self._stalled_until, cycle + self._BTB_MISS_BUBBLE)
+        if inst.branch_taken:
+            self.btb.insert(inst.pc, inst.branch_target)
+        return FetchedInstruction(
+            instruction=inst,
+            fetch_cycle=cycle,
+            predicted_taken=predicted_taken,
+            predicted_target=target,
+            btb_hit=btb_hit,
+            history_checkpoint=checkpoint,
+            mispredicted=mispredicted,
+        )

@@ -1,0 +1,80 @@
+"""Register file area model (λ² units).
+
+A multi-ported register cell needs one word line per port and one
+bit line (or differential pair) per port, so both the cell width and the
+cell height grow linearly with the total number of ports.  The area of a
+register file with ``R`` registers of ``b`` bits and ``P = Pr + Pw``
+ports is therefore
+
+    area = R · b · (c0 + c1 · P)²   [λ²]
+
+The constants ``c0`` (base cell side) and ``c1`` (wire track pitch per
+port) are calibrated against Table 2 of the paper: with c0 = 20λ and
+c1 = 19λ the model reproduces the four single-banked areas (10921, 15070,
+18855 and 24163 ×10Kλ² for 3R2W…4R4W, 128 registers × 64 bits) within a
+few percent, as well as the register-file-cache areas when the two banks
+are summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Base register cell side in λ (single-ported storage + diffusion).
+CELL_BASE_LAMBDA = 20.0
+#: Additional cell side per port in λ (one wire track each way).
+CELL_TRACK_LAMBDA = 19.0
+#: Register width in bits (Alpha-like 64-bit registers).
+DEFAULT_REGISTER_BITS = 64
+#: The paper reports areas in units of 10K λ².
+AREA_UNIT = 10_000.0
+
+
+@dataclass(frozen=True)
+class RegisterFileGeometry:
+    """Geometry of one register file bank."""
+
+    num_registers: int
+    read_ports: int
+    write_ports: int
+    bits: int = DEFAULT_REGISTER_BITS
+
+    def __post_init__(self) -> None:
+        if self.num_registers <= 0:
+            raise ModelError("num_registers must be positive")
+        if self.read_ports < 0 or self.write_ports < 0:
+            raise ModelError("port counts cannot be negative")
+        if self.read_ports + self.write_ports == 0:
+            raise ModelError("a register file needs at least one port")
+        if self.bits <= 0:
+            raise ModelError("bits must be positive")
+
+    @property
+    def total_ports(self) -> int:
+        return self.read_ports + self.write_ports
+
+    @property
+    def cell_side_lambda(self) -> float:
+        """Side of one bit cell in λ."""
+        return CELL_BASE_LAMBDA + CELL_TRACK_LAMBDA * self.total_ports
+
+    def area_lambda2(self) -> float:
+        """Bank area in λ²."""
+        return self.num_registers * self.bits * self.cell_side_lambda ** 2
+
+    def area_units(self) -> float:
+        """Bank area in the paper's 10Kλ² units."""
+        return self.area_lambda2() / AREA_UNIT
+
+
+def area_lambda2(
+    num_registers: int,
+    read_ports: int,
+    write_ports: int,
+    bits: int = DEFAULT_REGISTER_BITS,
+) -> float:
+    """Area in λ² of a register file bank (convenience wrapper)."""
+    geometry = RegisterFileGeometry(num_registers, read_ports, write_ports, bits)
+    return geometry.area_lambda2()

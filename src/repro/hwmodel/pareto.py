@@ -1,0 +1,87 @@
+"""Design-space enumeration and Pareto filtering (Figure 8 machinery).
+
+Figure 8 of the paper sweeps, for every register file architecture, all
+combinations of read/write port counts, discards the configurations that
+are dominated (another configuration of the same architecture with lower
+area and higher IPC) and plots the surviving (area, relative-performance)
+points.  This module provides the enumeration of candidate geometries and
+a generic Pareto filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.hwmodel.area import RegisterFileGeometry
+from repro.hwmodel.configurations import RegisterFileCacheGeometry
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design: its cost (area), its value (performance), and
+    an arbitrary payload describing the configuration."""
+
+    cost: float
+    value: float
+    label: str = ""
+    payload: object = field(default=None, compare=False)
+
+
+def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Keep only non-dominated points (lower cost and higher value win).
+
+    A point is dominated if another point has cost <= its cost and
+    value >= its value, with at least one strict inequality.
+    """
+    candidates = sorted(points, key=lambda point: (point.cost, -point.value))
+    frontier: List[DesignPoint] = []
+    best_value = float("-inf")
+    for point in candidates:
+        if point.value > best_value:
+            frontier.append(point)
+            best_value = point.value
+    return frontier
+
+
+def enumerate_single_banked(
+    num_registers: int = 128,
+    read_port_range: Sequence[int] = (2, 3, 4, 6, 8),
+    write_port_range: Sequence[int] = (1, 2, 3, 4),
+) -> List[RegisterFileGeometry]:
+    """Candidate port configurations for a single-banked register file."""
+    return [
+        RegisterFileGeometry(num_registers, reads, writes)
+        for reads in read_port_range
+        for writes in write_port_range
+    ]
+
+
+def enumerate_register_file_cache(
+    upper_registers: int = 16,
+    lower_registers: int = 128,
+    upper_read_range: Sequence[int] = (2, 3, 4, 6, 8),
+    upper_write_range: Sequence[int] = (1, 2, 3, 4),
+    lower_write_range: Sequence[int] = (1, 2, 3, 4),
+    bus_range: Sequence[int] = (1, 2, 3),
+) -> List[RegisterFileCacheGeometry]:
+    """Candidate geometries for the register file cache.
+
+    The full cross product is large; callers typically restrict the ranges
+    (the experiments tie the lower write ports to the upper write ports to
+    keep the sweep close to the paper's).
+    """
+    return [
+        RegisterFileCacheGeometry(
+            upper_registers=upper_registers,
+            lower_registers=lower_registers,
+            upper_read_ports=upper_reads,
+            upper_write_ports=upper_writes,
+            lower_write_ports=lower_writes,
+            buses=buses,
+        )
+        for upper_reads in upper_read_range
+        for upper_writes in upper_write_range
+        for lower_writes in lower_write_range
+        for buses in bus_range
+    ]

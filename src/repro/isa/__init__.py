@@ -1,0 +1,46 @@
+"""A small RISC-like instruction set used by the simulator and workloads.
+
+The ISA is deliberately minimal: the register-file study only needs to
+know, for each dynamic instruction, its operation class (which determines
+the functional unit and latency), its destination and source *logical*
+registers, whether it is a branch (and the branch outcome), and whether it
+touches memory (and at what address).  The classes here model exactly
+that, plus a small static-program representation and assembler used by the
+kernel workloads and the examples.
+"""
+
+from repro.isa.opcodes import (
+    OpClass,
+    Opcode,
+    OPCODES,
+    opcode_by_mnemonic,
+    default_latency,
+)
+from repro.isa.instruction import (
+    RegisterClass,
+    LogicalRegister,
+    StaticInstruction,
+    DynamicInstruction,
+    INT_LOGICAL_REGISTERS,
+    FP_LOGICAL_REGISTERS,
+)
+from repro.isa.program import BasicBlock, Program
+from repro.isa.assembler import assemble, AssemblyError
+
+__all__ = [
+    "OpClass",
+    "Opcode",
+    "OPCODES",
+    "opcode_by_mnemonic",
+    "default_latency",
+    "RegisterClass",
+    "LogicalRegister",
+    "StaticInstruction",
+    "DynamicInstruction",
+    "INT_LOGICAL_REGISTERS",
+    "FP_LOGICAL_REGISTERS",
+    "BasicBlock",
+    "Program",
+    "assemble",
+    "AssemblyError",
+]

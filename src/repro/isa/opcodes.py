@@ -1,0 +1,150 @@
+"""Operation classes, opcodes and default latencies.
+
+The latencies follow Table 1 of the paper:
+
+* simple integer ops: 1 cycle (6 units)
+* integer multiply: 2 cycles, integer divide: 14 cycles (3 units shared)
+* simple FP ops: 2 cycles (4 units)
+* FP divide: 14 cycles (2 units)
+* loads/stores: handled by the load/store units and the data cache
+  (4 units, address generation 1 cycle + cache access)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpClass(enum.Enum):
+    """Coarse operation class; determines functional unit and latency."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self is OpClass.BRANCH
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FP_ALU, OpClass.FP_MUL, OpClass.FP_DIV)
+
+    @property
+    def writes_register(self) -> bool:
+        """Whether instructions of this class normally produce a result."""
+        return self not in (OpClass.STORE, OpClass.BRANCH, OpClass.NOP)
+
+
+#: Execution latency (cycles spent in the functional unit) per class.
+#: Loads additionally pay the data-cache access time.
+DEFAULT_LATENCIES: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 2,
+    OpClass.INT_DIV: 14,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MUL: 2,
+    OpClass.FP_DIV: 14,
+    OpClass.LOAD: 1,  # address generation; cache access time is added on top
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+
+def default_latency(op_class: OpClass) -> int:
+    """Return the default functional-unit latency for ``op_class``."""
+    return DEFAULT_LATENCIES[op_class]
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A concrete opcode in the toy ISA.
+
+    Attributes
+    ----------
+    mnemonic:
+        Assembly mnemonic (e.g. ``"add"``).
+    op_class:
+        The :class:`OpClass` the opcode belongs to.
+    num_sources:
+        Number of register source operands (0..2).
+    has_dest:
+        Whether the opcode writes a destination register.
+    has_immediate:
+        Whether the opcode takes an immediate operand.
+    """
+
+    mnemonic: str
+    op_class: OpClass
+    num_sources: int = 2
+    has_dest: bool = True
+    has_immediate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.num_sources <= 2:
+            raise ValueError("num_sources must be 0, 1 or 2")
+
+
+_OPCODE_DEFS: tuple[Opcode, ...] = (
+    # Integer ALU
+    Opcode("add", OpClass.INT_ALU),
+    Opcode("sub", OpClass.INT_ALU),
+    Opcode("and", OpClass.INT_ALU),
+    Opcode("or", OpClass.INT_ALU),
+    Opcode("xor", OpClass.INT_ALU),
+    Opcode("sll", OpClass.INT_ALU),
+    Opcode("srl", OpClass.INT_ALU),
+    Opcode("slt", OpClass.INT_ALU),
+    Opcode("addi", OpClass.INT_ALU, num_sources=1, has_immediate=True),
+    Opcode("li", OpClass.INT_ALU, num_sources=0, has_immediate=True),
+    Opcode("mov", OpClass.INT_ALU, num_sources=1),
+    # Integer multiply / divide
+    Opcode("mul", OpClass.INT_MUL),
+    Opcode("div", OpClass.INT_DIV),
+    # FP
+    Opcode("fadd", OpClass.FP_ALU),
+    Opcode("fsub", OpClass.FP_ALU),
+    Opcode("fmov", OpClass.FP_ALU, num_sources=1),
+    Opcode("fmul", OpClass.FP_MUL),
+    Opcode("fdiv", OpClass.FP_DIV),
+    # Memory
+    Opcode("lw", OpClass.LOAD, num_sources=1, has_immediate=True),
+    Opcode("flw", OpClass.LOAD, num_sources=1, has_immediate=True),
+    Opcode("sw", OpClass.STORE, num_sources=2, has_dest=False, has_immediate=True),
+    Opcode("fsw", OpClass.STORE, num_sources=2, has_dest=False, has_immediate=True),
+    # Control
+    Opcode("beq", OpClass.BRANCH, num_sources=2, has_dest=False, has_immediate=True),
+    Opcode("bne", OpClass.BRANCH, num_sources=2, has_dest=False, has_immediate=True),
+    Opcode("blt", OpClass.BRANCH, num_sources=2, has_dest=False, has_immediate=True),
+    Opcode("bge", OpClass.BRANCH, num_sources=2, has_dest=False, has_immediate=True),
+    Opcode("jmp", OpClass.BRANCH, num_sources=0, has_dest=False, has_immediate=True),
+    # Misc
+    Opcode("nop", OpClass.NOP, num_sources=0, has_dest=False),
+)
+
+#: Mapping from mnemonic to :class:`Opcode` for every opcode in the ISA.
+OPCODES: dict[str, Opcode] = {op.mnemonic: op for op in _OPCODE_DEFS}
+
+
+def opcode_by_mnemonic(mnemonic: str) -> Opcode:
+    """Look up an opcode by its assembly mnemonic.
+
+    Raises
+    ------
+    KeyError
+        If the mnemonic is not part of the ISA.
+    """
+    return OPCODES[mnemonic]

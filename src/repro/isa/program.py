@@ -1,0 +1,215 @@
+"""Static program representation and a small functional executor.
+
+A :class:`Program` is a list of labelled basic blocks of
+:class:`~repro.isa.instruction.StaticInstruction`.  The
+:meth:`Program.run` method executes it functionally (integer and FP
+values, a flat byte-addressed memory) and yields the dynamic instruction
+stream consumed by the timing simulator.  This is how the hand-written
+kernel workloads in :mod:`repro.workloads.kernels` and the examples
+produce realistic traces with genuine dataflow, branches and addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SimulationError
+from repro.isa.instruction import (
+    DynamicInstruction,
+    LogicalRegister,
+    RegisterClass,
+    StaticInstruction,
+)
+from repro.isa.opcodes import OpClass
+
+
+@dataclass
+class BasicBlock:
+    """A labelled straight-line sequence of static instructions."""
+
+    label: str
+    instructions: List[StaticInstruction] = field(default_factory=list)
+
+    def append(self, instruction: StaticInstruction) -> None:
+        self.instructions.append(instruction)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class Program:
+    """A static program: an ordered collection of basic blocks.
+
+    The program address space is synthetic: instruction ``i`` (in flat
+    order) lives at address ``base_pc + 4 * i``.
+    """
+
+    def __init__(self, blocks: List[BasicBlock], base_pc: int = 0x1000) -> None:
+        self.blocks = blocks
+        self.base_pc = base_pc
+        self._flat: List[StaticInstruction] = []
+        self._label_to_index: Dict[str, int] = {}
+        for block in blocks:
+            if block.label in self._label_to_index:
+                raise SimulationError(f"duplicate label {block.label!r}")
+            self._label_to_index[block.label] = len(self._flat)
+            self._flat.extend(block.instructions)
+        if not self._flat:
+            raise SimulationError("program has no instructions")
+
+    def __len__(self) -> int:
+        return len(self._flat)
+
+    @property
+    def instructions(self) -> List[StaticInstruction]:
+        return list(self._flat)
+
+    def label_address(self, label: str) -> int:
+        """Return the pc of the first instruction of block ``label``."""
+        return self.base_pc + 4 * self._label_to_index[label]
+
+    def run(
+        self,
+        max_instructions: int = 100_000,
+        initial_registers: Optional[Dict[LogicalRegister, float]] = None,
+        initial_memory: Optional[Dict[int, float]] = None,
+    ) -> Iterator[DynamicInstruction]:
+        """Functionally execute the program, yielding dynamic instructions.
+
+        Execution stops when the program falls off the end, or when
+        ``max_instructions`` dynamic instructions have been produced.
+        """
+        regs: Dict[LogicalRegister, float] = dict(initial_registers or {})
+        memory: Dict[int, float] = dict(initial_memory or {})
+        index = 0
+        seq = 0
+        while 0 <= index < len(self._flat) and seq < max_instructions:
+            static = self._flat[index]
+            pc = self.base_pc + 4 * index
+            dyn, next_index = self._execute_one(static, index, seq, pc, regs, memory)
+            yield dyn
+            seq += 1
+            index = next_index
+
+    # ------------------------------------------------------------------
+    # functional execution helpers
+    # ------------------------------------------------------------------
+
+    def _read(self, regs: Dict[LogicalRegister, float], reg: LogicalRegister) -> float:
+        return regs.get(reg, 0.0)
+
+    def _execute_one(
+        self,
+        static: StaticInstruction,
+        index: int,
+        seq: int,
+        pc: int,
+        regs: Dict[LogicalRegister, float],
+        memory: Dict[int, float],
+    ) -> tuple[DynamicInstruction, int]:
+        mnemonic = static.opcode.mnemonic
+        srcs = [self._read(regs, s) for s in static.sources]
+        imm = static.immediate
+        next_index = index + 1
+        branch_taken = False
+        branch_target_pc = pc + 4
+        mem_address: Optional[int] = None
+        result: Optional[float] = None
+
+        if mnemonic in ("add", "fadd"):
+            result = srcs[0] + srcs[1]
+        elif mnemonic in ("sub", "fsub"):
+            result = srcs[0] - srcs[1]
+        elif mnemonic in ("mul", "fmul"):
+            result = srcs[0] * srcs[1]
+        elif mnemonic in ("div", "fdiv"):
+            result = srcs[0] / srcs[1] if srcs[1] != 0 else 0.0
+        elif mnemonic == "and":
+            result = float(int(srcs[0]) & int(srcs[1]))
+        elif mnemonic == "or":
+            result = float(int(srcs[0]) | int(srcs[1]))
+        elif mnemonic == "xor":
+            result = float(int(srcs[0]) ^ int(srcs[1]))
+        elif mnemonic == "sll":
+            result = float(int(srcs[0]) << (int(srcs[1]) & 31))
+        elif mnemonic == "srl":
+            result = float(int(srcs[0]) >> (int(srcs[1]) & 31))
+        elif mnemonic == "slt":
+            result = 1.0 if srcs[0] < srcs[1] else 0.0
+        elif mnemonic == "addi":
+            result = srcs[0] + imm
+        elif mnemonic == "li":
+            result = float(imm)
+        elif mnemonic in ("mov", "fmov"):
+            result = srcs[0]
+        elif mnemonic in ("lw", "flw"):
+            mem_address = int(srcs[0]) + imm
+            result = memory.get(mem_address, 0.0)
+        elif mnemonic in ("sw", "fsw"):
+            # sources[0] is the value, sources[1] is the base address.
+            mem_address = int(srcs[1]) + imm
+            memory[mem_address] = srcs[0]
+        elif mnemonic in ("beq", "bne", "blt", "bge", "jmp"):
+            branch_taken = self._branch_outcome(mnemonic, srcs)
+            if static.target_label is None:
+                raise SimulationError(f"branch at index {index} has no target label")
+            target_index = self._label_to_index[static.target_label]
+            branch_target_pc = self.base_pc + 4 * target_index
+            if branch_taken:
+                next_index = target_index
+        elif mnemonic == "nop":
+            pass
+        else:  # pragma: no cover - defensive; opcodes table is closed
+            raise SimulationError(f"unknown mnemonic {mnemonic!r}")
+
+        if static.dest is not None and result is not None:
+            regs[static.dest] = result
+
+        dyn = DynamicInstruction(
+            seq=seq,
+            op_class=static.op_class,
+            dest=static.dest,
+            sources=tuple(static.sources),
+            pc=pc,
+            is_branch=static.op_class is OpClass.BRANCH,
+            branch_taken=branch_taken,
+            branch_target=branch_target_pc,
+            mem_address=mem_address,
+            mnemonic=mnemonic,
+        )
+        return dyn, next_index
+
+    @staticmethod
+    def _branch_outcome(mnemonic: str, srcs: List[float]) -> bool:
+        if mnemonic == "jmp":
+            return True
+        a, b = srcs[0], srcs[1]
+        if mnemonic == "beq":
+            return a == b
+        if mnemonic == "bne":
+            return a != b
+        if mnemonic == "blt":
+            return a < b
+        if mnemonic == "bge":
+            return a >= b
+        raise SimulationError(f"not a branch mnemonic: {mnemonic!r}")
+
+
+def registers_touched(program: Program) -> set[LogicalRegister]:
+    """Return every logical register read or written by ``program``."""
+    touched: set[LogicalRegister] = set()
+    for inst in program.instructions:
+        if inst.dest is not None:
+            touched.add(inst.dest)
+        touched.update(inst.sources)
+    return touched
+
+
+def register_class_mix(program: Program) -> dict[RegisterClass, int]:
+    """Count instructions writing each register class (for sanity checks)."""
+    counts = {RegisterClass.INT: 0, RegisterClass.FP: 0}
+    for inst in program.instructions:
+        if inst.dest is not None:
+            counts[inst.dest.reg_class] += 1
+    return counts

@@ -1,0 +1,13 @@
+"""Cycle-level processor model tying all substrates together."""
+
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.stats import SimulationStats, OccupancySample
+from repro.pipeline.processor import Processor, simulate
+
+__all__ = [
+    "ProcessorConfig",
+    "SimulationStats",
+    "OccupancySample",
+    "Processor",
+    "simulate",
+]

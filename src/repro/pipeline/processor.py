@@ -1,0 +1,478 @@
+"""Cycle-level model of a dynamically scheduled superscalar processor.
+
+The pipeline follows the paper's 6-stage structure (fetch, decode/rename,
+read, execute, write-back, commit); the read stage takes ``read_stages``
+cycles as dictated by the register file architecture under study, and
+dependent-instruction timing honours the number of bypass levels the
+architecture implements.
+
+The processor is *stream driven*: it consumes a dynamic instruction
+stream (correct path only) and models timing.  Branch mispredictions
+therefore stall fetch from the mispredicted branch until it resolves,
+charging the full front-end refill penalty, which is the standard
+trace-driven modelling approach.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.execute.bypass import BypassNetwork
+from repro.execute.functional_units import FunctionalUnitPool
+from repro.execute.issue_queue import IssueQueue, IssueQueueEntry
+from repro.execute.rob import ReorderBuffer
+from repro.execute.scoreboard import ValueScoreboard
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.fetch import FetchedInstruction, FetchUnit
+from repro.frontend.gshare import GSharePredictor
+from repro.isa.instruction import DynamicInstruction, RegisterClass
+from repro.isa.opcodes import OpClass
+from repro.memsys.cache import CacheModel
+from repro.memsys.lsq import LoadStoreQueue
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.stats import OccupancySample, SimulationStats
+from repro.regfile.base import OperandAccess, OperandSource, RegisterFileModel
+from repro.rename.renamer import PhysicalRegister, RenamedInstruction, Renamer
+
+
+@dataclass
+class _Completion:
+    """An instruction scheduled to complete (write back) at a given cycle."""
+
+    renamed: RenamedInstruction
+    ex_end_cycle: int
+    fetched: Optional[FetchedInstruction]
+
+
+class Processor:
+    """One simulated processor instance (one workload, one architecture)."""
+
+    def __init__(
+        self,
+        workload: Iterable[DynamicInstruction],
+        regfile_factory: Callable[[], RegisterFileModel],
+        config: Optional[ProcessorConfig] = None,
+        benchmark_name: str = "workload",
+    ) -> None:
+        self.config = config or ProcessorConfig()
+        self.benchmark_name = benchmark_name
+
+        self._regfiles: Dict[RegisterClass, RegisterFileModel] = {
+            RegisterClass.INT: regfile_factory(),
+            RegisterClass.FP: regfile_factory(),
+        }
+        int_rf = self._regfiles[RegisterClass.INT]
+        fp_rf = self._regfiles[RegisterClass.FP]
+        if (int_rf.read_stages, int_rf.bypass_levels) != (fp_rf.read_stages, fp_rf.bypass_levels):
+            raise ConfigurationError(
+                "integer and FP register files must share the same timing"
+            )
+        self.read_stages = int_rf.read_stages
+        self.bypass = BypassNetwork(int_rf.read_stages, int_rf.bypass_levels)
+
+        self.scoreboard = ValueScoreboard()
+        self.renamer = Renamer(self.config.num_int_physical, self.config.num_fp_physical)
+        self._seed_architected_registers()
+
+        self.window = IssueQueue(self.config.instruction_window, self.scoreboard, self.bypass)
+        self.rob = ReorderBuffer(self.config.rob_size)
+        self.lsq = LoadStoreQueue(self.config.lsq_size)
+        self.fu_pool = FunctionalUnitPool(self.config.functional_units)
+
+        self.icache = CacheModel(self.config.icache, name="icache")
+        self.dcache = CacheModel(self.config.dcache, name="dcache")
+        self.predictor = GSharePredictor(self.config.branch_predictor_entries)
+        self.btb = BranchTargetBuffer(self.config.btb_entries)
+        self.fetch_unit = FetchUnit(
+            iter(workload), self.icache, self.predictor, self.btb,
+            width=self.config.fetch_width,
+        )
+
+        self._decode_queue: deque[FetchedInstruction] = deque()
+        self._completions: Dict[int, List[_Completion]] = {}
+
+        self.stats = SimulationStats(
+            benchmark=benchmark_name,
+            architecture=int_rf.describe(),
+        )
+
+    # ------------------------------------------------------------------
+    # setup helpers
+    # ------------------------------------------------------------------
+
+    def _seed_architected_registers(self) -> None:
+        """The initial logical→physical mappings hold architected values."""
+        from repro.isa.instruction import INT_LOGICAL_REGISTERS, FP_LOGICAL_REGISTERS
+
+        for logical in INT_LOGICAL_REGISTERS + FP_LOGICAL_REGISTERS:
+            physical = self.renamer.current_mapping(logical)
+            self.scoreboard.seed_architected(physical)
+
+    def _regfile(self, register: PhysicalRegister) -> RegisterFileModel:
+        return self._regfiles[register.reg_class]
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationStats:
+        """Run the simulation to completion and return the statistics."""
+        cycle = 0
+        max_cycles = self.config.effective_max_cycles
+        while True:
+            if self.stats.committed_instructions >= self.config.max_instructions:
+                break
+            if (
+                self.fetch_unit.exhausted
+                and not self._decode_queue
+                and self.rob.empty
+            ):
+                break
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"({self.stats.committed_instructions} instructions committed); "
+                    "likely a livelock in the pipeline model"
+                )
+
+            for regfile in self._regfiles.values():
+                regfile.begin_cycle(cycle)
+            self.fu_pool.begin_cycle(cycle)
+
+            self._commit_stage(cycle)
+            self._writeback_stage(cycle)
+            self._issue_stage(cycle)
+            self._dispatch_stage(cycle)
+            self._fetch_stage(cycle)
+
+            if self.config.collect_occupancy:
+                self._sample_occupancy(cycle)
+
+            cycle += 1
+
+        self.stats.cycles = cycle
+        self._finalize_statistics()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # commit
+    # ------------------------------------------------------------------
+
+    def _commit_stage(self, cycle: int) -> None:
+        for rob_entry in self.rob.committable(self.config.commit_width, cycle):
+            if self.stats.committed_instructions >= self.config.max_instructions:
+                return
+            self.rob.commit(rob_entry.seq)
+            renamed = rob_entry.renamed
+            released = self.renamer.commit(renamed)
+            if released is not None and self.scoreboard.contains(released):
+                state = self.scoreboard.get(released)
+                total_reads = (
+                    state.reads_from_bypass + state.reads_from_upper + state.reads_from_lower
+                )
+                self.stats.record_value_reads(total_reads)
+                self.scoreboard.release(released)
+                self._regfile(released).release(released)
+            instruction = renamed.instruction
+            if instruction.is_store:
+                self.dcache.access(instruction.mem_address or 0, is_write=True)
+                self.lsq.release(instruction.seq)
+            elif instruction.is_load:
+                self.lsq.release(instruction.seq)
+            self.stats.committed_instructions += 1
+
+    # ------------------------------------------------------------------
+    # write-back / completion
+    # ------------------------------------------------------------------
+
+    def _writeback_stage(self, cycle: int) -> None:
+        completions = self._completions.pop(cycle, [])
+        for completion in completions:
+            renamed = completion.renamed
+            instruction = renamed.instruction
+            if renamed.dest is not None:
+                state = self.scoreboard.get(renamed.dest)
+                regfile = self._regfile(renamed.dest)
+                rf_ready = regfile.writeback(renamed.dest, state, cycle, self.window)
+                self.scoreboard.set_rf_ready(renamed.dest, rf_ready)
+            self.rob.mark_completed(instruction.seq, cycle)
+
+            if instruction.is_branch and completion.fetched is not None:
+                fetched = completion.fetched
+                self.predictor.update(
+                    instruction.pc,
+                    instruction.branch_taken,
+                    fetched.history_checkpoint,
+                    fetched.predicted_taken,
+                )
+                if fetched.mispredicted:
+                    self.stats.branch_mispredictions += 1
+                self.fetch_unit.branch_resolved(instruction.seq, completion.ex_end_cycle)
+
+    # ------------------------------------------------------------------
+    # issue (wakeup / select / operand read planning)
+    # ------------------------------------------------------------------
+
+    def _issue_stage(self, cycle: int) -> None:
+        issued = 0
+        for entry in self.window.schedulable(cycle):
+            if issued >= self.config.issue_width:
+                break
+            if self._try_issue(entry, cycle):
+                issued += 1
+
+    def _try_issue(self, entry: IssueQueueEntry, cycle: int) -> bool:
+        instruction = entry.renamed.instruction
+        op_class = instruction.op_class
+
+        if instruction.is_load and not self.lsq.load_may_issue(instruction.seq):
+            self.window.defer(entry, cycle + 1)
+            return False
+
+        accesses_by_class, missing, deferred = self._plan_operands(entry, cycle)
+        if deferred:
+            return False
+        if missing:
+            self._handle_upper_level_misses(entry, missing, accesses_by_class, cycle)
+            return False
+
+        if not self.fu_pool.can_issue(op_class, cycle):
+            self.stats.issue_stalls_fu += 1
+            return False
+        for reg_class, accesses in accesses_by_class.items():
+            if accesses and not self._regfiles[reg_class].can_claim_reads(accesses):
+                self.stats.issue_stalls_ports += 1
+                return False
+
+        self._do_issue(entry, accesses_by_class, cycle)
+        return True
+
+    def _plan_operands(
+        self, entry: IssueQueueEntry, cycle: int
+    ) -> tuple[Dict[RegisterClass, List[OperandAccess]], List[PhysicalRegister], bool]:
+        accesses_by_class: Dict[RegisterClass, List[OperandAccess]] = {
+            RegisterClass.INT: [],
+            RegisterClass.FP: [],
+        }
+        missing: List[PhysicalRegister] = []
+        for register in entry.renamed.sources:
+            state = self.scoreboard.get(register)
+            access = self._regfile(register).plan_operand_read(register, state, cycle)
+            if access.source is OperandSource.NOT_READY:
+                retry = access.retry_cycle if access.retry_cycle is not None else cycle + 1
+                self.window.defer(entry, max(cycle + 1, retry))
+                return accesses_by_class, [], True
+            if access.source is OperandSource.MISS:
+                missing.append(register)
+                continue
+            accesses_by_class[register.reg_class].append(access)
+        return accesses_by_class, missing, False
+
+    def _handle_upper_level_misses(
+        self,
+        entry: IssueQueueEntry,
+        missing: List[PhysicalRegister],
+        accesses_by_class: Dict[RegisterClass, List[OperandAccess]],
+        cycle: int,
+    ) -> None:
+        """Fetch-on-demand: bring missing operands up over the buses.
+
+        The operands of the oldest waiting instruction are pinned in the
+        uppermost level until they are read, so that even a tiny upper bank
+        cannot thrash the two operands of one instruction against each
+        other and livelock the pipeline.
+        """
+        self.stats.issue_stalls_fill += 1
+        is_oldest = self.window.oldest_seq() == entry.seq
+        if is_oldest:
+            for accesses in accesses_by_class.values():
+                for access in accesses:
+                    if access.source is OperandSource.FILE:
+                        self._regfile(access.register).pin_operand(access.register)
+        latest_completion: Optional[int] = None
+        for register in missing:
+            state = self.scoreboard.get(register)
+            completion = self._regfile(register).request_fill(
+                register, state, cycle, pin=is_oldest
+            )
+            if completion is not None:
+                latest_completion = max(latest_completion or 0, completion)
+        if latest_completion is not None:
+            self.window.defer(entry, latest_completion)
+        else:
+            self.window.defer(entry, cycle + 1)
+
+    def _do_issue(
+        self,
+        entry: IssueQueueEntry,
+        accesses_by_class: Dict[RegisterClass, List[OperandAccess]],
+        cycle: int,
+    ) -> None:
+        instruction = entry.renamed.instruction
+        for reg_class, accesses in accesses_by_class.items():
+            if not accesses:
+                continue
+            self._regfiles[reg_class].claim_reads(accesses)
+            for access in accesses:
+                if access.source is OperandSource.BYPASS:
+                    self.scoreboard.record_read(access.register, "bypass")
+                    self.bypass.record_bypass_read()
+                    self.stats.operands_from_bypass += 1
+                else:
+                    self.scoreboard.record_read(access.register, "upper")
+                    self.bypass.record_regfile_read()
+                    self.stats.operands_from_file += 1
+
+        latency = self._execution_latency(instruction)
+        self.fu_pool.issue(instruction.op_class, cycle, latency)
+
+        ex_start = cycle + self.read_stages
+        ex_end = ex_start + latency - 1
+
+        self.window.mark_issued(entry, cycle)
+        self.rob.mark_issued(instruction.seq, cycle)
+
+        if instruction.op_class.is_memory and instruction.mem_address is not None:
+            self.lsq.set_address(instruction.seq, instruction.mem_address)
+
+        if entry.renamed.dest is not None:
+            self.scoreboard.set_execution_end(entry.renamed.dest, ex_end)
+            self.window.wakeup(entry.renamed.dest, ex_end)
+            self._regfile(entry.renamed.dest).on_issue(
+                entry, cycle, self.window, self.scoreboard
+            )
+
+        fetched = entry.renamed.annotations.get("fetched")
+        completion = _Completion(renamed=entry.renamed, ex_end_cycle=ex_end, fetched=fetched)
+        self._completions.setdefault(ex_end + 1, []).append(completion)
+
+    def _execution_latency(self, instruction: DynamicInstruction) -> int:
+        latency = instruction.latency or 1
+        if instruction.op_class is OpClass.LOAD:
+            address = instruction.mem_address or 0
+            forwarding = self.lsq.forwarding_store(instruction.seq, address)
+            if forwarding is not None:
+                return 2  # address generation + forward from the store queue
+            access = self.dcache.access(address)
+            return 1 + access.latency
+        if instruction.op_class is OpClass.STORE:
+            return 1  # address generation; data is written at commit
+        return latency
+
+    # ------------------------------------------------------------------
+    # decode / rename / dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_stage(self, cycle: int) -> None:
+        dispatched = 0
+        while self._decode_queue and dispatched < self.config.decode_width:
+            fetched = self._decode_queue[0]
+            if fetched.fetch_cycle >= cycle:
+                break  # still in the decode stage
+            instruction = fetched.instruction
+            if self.rob.full:
+                self.stats.dispatch_stalls_rob += 1
+                break
+            if self.window.full:
+                self.stats.dispatch_stalls_window += 1
+                break
+            if instruction.op_class.is_memory and self.lsq.full:
+                self.stats.dispatch_stalls_lsq += 1
+                break
+            if not self.renamer.can_rename(instruction):
+                self.stats.dispatch_stalls_registers += 1
+                break
+
+            self._decode_queue.popleft()
+            renamed = self.renamer.rename(instruction)
+            renamed.annotations["fetched"] = fetched
+            if renamed.dest is not None:
+                self.scoreboard.allocate(renamed.dest, instruction.seq)
+            self.rob.dispatch(renamed, cycle)
+            self.window.dispatch(renamed, cycle)
+            if instruction.op_class.is_memory:
+                self.lsq.insert(instruction.seq, instruction.is_store)
+                if instruction.is_store and instruction.mem_address is not None:
+                    # Store addresses are produced by the address-generation
+                    # part of the store, which does not wait for the store
+                    # data; the stream already carries the effective
+                    # address, so younger loads are only delayed by real
+                    # same-address conflicts (store→load forwarding).
+                    self.lsq.set_address(instruction.seq, instruction.mem_address)
+            dispatched += 1
+
+        self.stats.max_window_occupancy = max(
+            self.stats.max_window_occupancy, self.window.occupancy()
+        )
+        self.stats.max_rob_occupancy = max(self.stats.max_rob_occupancy, self.rob.occupancy())
+        self.stats.max_int_registers_in_use = max(
+            self.stats.max_int_registers_in_use,
+            self.renamer.in_use_registers(RegisterClass.INT),
+        )
+        self.stats.max_fp_registers_in_use = max(
+            self.stats.max_fp_registers_in_use,
+            self.renamer.in_use_registers(RegisterClass.FP),
+        )
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+
+    def _fetch_stage(self, cycle: int) -> None:
+        if len(self._decode_queue) >= self.config.fetch_buffer_size:
+            return
+        if self.fetch_unit.exhausted:
+            return
+        group = self.fetch_unit.fetch(cycle)
+        for fetched in group:
+            self._decode_queue.append(fetched)
+            if fetched.instruction.is_branch:
+                self.stats.branch_predictions += 1
+        self.stats.fetched_instructions += len(group)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def _sample_occupancy(self, cycle: int) -> None:
+        needed: set[PhysicalRegister] = set()
+        ready: set[PhysicalRegister] = set()
+        for entry in self.window.entries():
+            produced_sources = []
+            all_produced = True
+            for register in entry.renamed.sources:
+                state = self.scoreboard.get(register)
+                if state.ex_end_cycle is not None and state.ex_end_cycle <= cycle:
+                    produced_sources.append(register)
+                else:
+                    all_produced = False
+            needed.update(produced_sources)
+            if all_produced and produced_sources:
+                ready.update(produced_sources)
+        self.stats.record_occupancy(OccupancySample(len(needed), len(ready)))
+
+    def _finalize_statistics(self) -> None:
+        self.stats.icache_hits = self.icache.hits
+        self.stats.icache_misses = self.icache.misses
+        self.stats.dcache_hits = self.dcache.hits
+        self.stats.dcache_misses = self.dcache.misses
+        self.stats.loads_forwarded = self.lsq.forwarded_loads
+        regfile_stats: Dict[str, int] = {}
+        for reg_class, regfile in self._regfiles.items():
+            for key, value in regfile.statistics().items():
+                regfile_stats[f"{reg_class.value}_{key}"] = value
+        self.stats.regfile_statistics = regfile_stats
+
+
+def simulate(
+    workload: Iterable[DynamicInstruction],
+    regfile_factory: Callable[[], RegisterFileModel],
+    config: Optional[ProcessorConfig] = None,
+    benchmark_name: str = "workload",
+) -> SimulationStats:
+    """Convenience wrapper: build a :class:`Processor`, run it, return stats."""
+    processor = Processor(workload, regfile_factory, config, benchmark_name)
+    return processor.run()

@@ -1,0 +1,141 @@
+"""One-level multiple-banked register file.
+
+Section 3 of the paper sketches a *single-level* multiple-banked
+organisation (Figure 4a): each logical register is mapped to a physical
+register in exactly one of the banks, every bank can feed the functional
+units, and each result is written to exactly one bank.  Each bank has few
+ports, so the organisation is cheap, but instructions now compete for the
+read ports of the specific bank their operands live in.
+
+The paper focuses its evaluation on the multi-level organisation (the
+register file cache); this model is provided to support the "extension to
+the one-level organization" mentioned in the conclusions and is used in
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.execute.scoreboard import ValueState
+from repro.regfile.base import (
+    OperandAccess,
+    OperandSource,
+    RegisterFileModel,
+    UNLIMITED,
+)
+from repro.regfile.ports import PortSet, WriteScheduler
+from repro.rename.renamer import PhysicalRegister
+
+
+class OneLevelBankedRegisterFile(RegisterFileModel):
+    """A single-level register file split into several interleaved banks."""
+
+    read_stages = 1
+    bypass_levels = 1
+
+    def __init__(
+        self,
+        num_banks: int = 2,
+        read_ports_per_bank: Optional[int] = UNLIMITED,
+        write_ports_per_bank: Optional[int] = UNLIMITED,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_banks <= 0:
+            raise ConfigurationError("num_banks must be positive")
+        self.num_banks = num_banks
+        self._read_ports = [
+            PortSet(read_ports_per_bank, kind=f"bank{i}-read") for i in range(num_banks)
+        ]
+        self._writes = [
+            WriteScheduler(write_ports_per_bank, kind=f"bank{i}-write")
+            for i in range(num_banks)
+        ]
+        self.name = name or f"one-level banked x{num_banks}"
+        # statistics
+        self.reads_from_bypass = 0
+        self.reads_from_banks = 0
+        self.read_port_stalls = 0
+        self.bank_conflicts = 0
+
+    # ------------------------------------------------------------------
+
+    def bank_of(self, register: PhysicalRegister) -> int:
+        """Bank holding ``register`` (simple interleaving by index)."""
+        return register.index % self.num_banks
+
+    def begin_cycle(self, cycle: int) -> None:
+        for ports in self._read_ports:
+            ports.begin_cycle()
+        if cycle % 1024 == 0:
+            for scheduler in self._writes:
+                scheduler.forget_before(cycle)
+
+    # ------------------------------------------------------------------
+
+    def plan_operand_read(
+        self, register: PhysicalRegister, state: ValueState, issue_cycle: int
+    ) -> OperandAccess:
+        if state.ex_end_cycle is None:
+            return OperandAccess(register, OperandSource.NOT_READY)
+        ex_start = issue_cycle + self.read_stages
+        earliest_ex = state.ex_end_cycle + 1
+        if ex_start < earliest_ex:
+            return OperandAccess(
+                register, OperandSource.NOT_READY, retry_cycle=state.ex_end_cycle
+            )
+        bank = self.bank_of(register)
+        if state.rf_ready_cycle is not None and issue_cycle >= state.rf_ready_cycle:
+            return OperandAccess(register, OperandSource.FILE, bank=bank)
+        return OperandAccess(register, OperandSource.BYPASS, bank=bank)
+
+    def can_claim_reads(self, accesses: Sequence[OperandAccess]) -> bool:
+        needed_per_bank: dict[int, int] = {}
+        for access in accesses:
+            if access.source is OperandSource.FILE:
+                needed_per_bank[access.bank] = needed_per_bank.get(access.bank, 0) + 1
+        for bank, needed in needed_per_bank.items():
+            if not self._read_ports[bank].available_capped(needed):
+                self.read_port_stalls += 1
+                self.bank_conflicts += 1
+                return False
+        return True
+
+    def claim_reads(self, accesses: Sequence[OperandAccess]) -> None:
+        needed_per_bank: dict[int, int] = {}
+        for access in accesses:
+            if access.source is OperandSource.FILE:
+                needed_per_bank[access.bank] = needed_per_bank.get(access.bank, 0) + 1
+                self.reads_from_banks += 1
+            elif access.source is OperandSource.BYPASS:
+                self.reads_from_bypass += 1
+        for bank, needed in needed_per_bank.items():
+            self._read_ports[bank].claim_capped(needed)
+
+    # ------------------------------------------------------------------
+
+    def writeback(
+        self,
+        register: PhysicalRegister,
+        state: ValueState,
+        cycle: int,
+        window,
+    ) -> int:
+        bank = self.bank_of(register)
+        return self._writes[bank].schedule(cycle)
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        ports = self._read_ports[0]
+        reads = "inf" if ports.unlimited else str(ports.count)
+        return f"{self.name} ({reads}R per bank)"
+
+    def statistics(self) -> dict:
+        return {
+            "reads_from_bypass": self.reads_from_bypass,
+            "reads_from_banks": self.reads_from_banks,
+            "read_port_stalls": self.read_port_stalls,
+            "bank_conflicts": self.bank_conflicts,
+        }

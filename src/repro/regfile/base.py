@@ -1,0 +1,176 @@
+"""Common interface of all register file architectures.
+
+The pipeline model interacts with a register file exclusively through
+:class:`RegisterFileModel`:
+
+* at **select/issue** time it asks, for each source operand of a
+  candidate instruction, how the operand would be obtained
+  (:meth:`RegisterFileModel.plan_operand_read`), checks that the required
+  read ports are available, and finally claims them;
+* when an operand is *missing* from the upper level of a register file
+  cache it asks the model to start a **fill** over one of the
+  inter-level buses;
+* at **write-back** time it hands the produced value to the model, which
+  arbitrates write ports, applies the caching policy and reports when the
+  value becomes readable from the file;
+* at **issue** time of a producer the model gets a hook used by the
+  prefetch-first-pair scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.execute.scoreboard import ValueState
+from repro.rename.renamer import PhysicalRegister
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.execute.issue_queue import IssueQueue, IssueQueueEntry
+
+#: Sentinel meaning "an unlimited number of ports/buses".
+UNLIMITED: Optional[int] = None
+
+
+class OperandSource(enum.Enum):
+    """How a source operand would be obtained at issue time."""
+
+    #: The value is caught on the bypass network — no register file port.
+    BYPASS = "bypass"
+    #: The value is read from the register file (uppermost bank); needs a
+    #: read port.
+    FILE = "file"
+    #: The value exists only in the lower bank of a register file cache
+    #: and must be brought up over a bus before the instruction can issue.
+    MISS = "miss"
+    #: The value is not available yet (producer still executing, or still
+    #: in flight to the lower bank).
+    NOT_READY = "not_ready"
+
+
+@dataclass
+class OperandAccess:
+    """The plan for obtaining one source operand."""
+
+    register: PhysicalRegister
+    source: OperandSource
+    #: For FILE accesses of multi-banked organisations: which bank is read.
+    bank: int = 0
+    #: Earliest cycle at which re-planning could succeed (hint only).
+    retry_cycle: Optional[int] = None
+
+    @property
+    def issuable(self) -> bool:
+        """Whether the operand can be delivered for an issue this cycle."""
+        return self.source in (OperandSource.BYPASS, OperandSource.FILE)
+
+
+class RegisterFileModel(ABC):
+    """Abstract register file architecture."""
+
+    #: Cycles between issue and the start of execution (operand read).
+    read_stages: int = 1
+    #: Number of bypass levels implemented.
+    bypass_levels: int = 1
+    #: Human-readable architecture name used in reports.
+    name: str = "register-file"
+
+    # ------------------------------------------------------------------
+    # per-cycle bookkeeping
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset per-cycle port counters and complete pending transfers."""
+
+    # ------------------------------------------------------------------
+    # reads (issue side)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def plan_operand_read(
+        self, register: PhysicalRegister, state: ValueState, issue_cycle: int
+    ) -> OperandAccess:
+        """Plan how ``register`` would be obtained by an instruction issued
+        at ``issue_cycle`` (executing ``read_stages`` cycles later)."""
+
+    @abstractmethod
+    def can_claim_reads(self, accesses: Sequence[OperandAccess]) -> bool:
+        """Whether the FILE accesses in ``accesses`` fit in this cycle's
+        remaining read-port budget."""
+
+    @abstractmethod
+    def claim_reads(self, accesses: Sequence[OperandAccess]) -> None:
+        """Consume read ports for the FILE accesses in ``accesses``."""
+
+    # ------------------------------------------------------------------
+    # fills / prefetches (register file cache only; default no-ops)
+    # ------------------------------------------------------------------
+
+    def request_fill(
+        self, register: PhysicalRegister, state: ValueState, cycle: int
+    ) -> Optional[int]:
+        """Start bringing ``register`` into the uppermost level.
+
+        Returns the cycle at which the value will be readable from the
+        uppermost level, or ``None`` if no transfer could be started (no
+        free bus, value not yet in the lower bank).  The default
+        implementation (single-level organisations) does nothing.
+        """
+        return None
+
+    def on_issue(
+        self,
+        entry: "IssueQueueEntry",
+        cycle: int,
+        window: "IssueQueue",
+        scoreboard,
+    ) -> None:
+        """Hook invoked when an instruction issues (prefetch-first-pair)."""
+
+    def pin_operand(self, register: PhysicalRegister) -> None:
+        """Keep ``register`` resident in the uppermost level until it is read.
+
+        Called by the pipeline for the operands of the oldest waiting
+        instruction so that forward progress is guaranteed even with very
+        small upper levels.  Single-level organisations need no pinning.
+        """
+
+    # ------------------------------------------------------------------
+    # writes (write-back side)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def writeback(
+        self,
+        register: PhysicalRegister,
+        state: ValueState,
+        cycle: int,
+        window: "IssueQueue",
+    ) -> int:
+        """Write the produced value into the register file.
+
+        Returns the cycle from which the value is readable from the file
+        (the lowest bank for a register file cache).
+        """
+
+    # ------------------------------------------------------------------
+    # lifetime management
+    # ------------------------------------------------------------------
+
+    def release(self, register: PhysicalRegister) -> None:
+        """The physical register was returned to the free list."""
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line description used in experiment reports."""
+        return self.name
+
+    def statistics(self) -> dict:
+        """Architecture-specific counters for reports (may be empty)."""
+        return {}

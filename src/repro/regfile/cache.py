@@ -1,0 +1,289 @@
+"""The register file cache: a two-level multiple-banked register file.
+
+This is the architecture the paper proposes (Section 3, Figure 4b):
+
+* the **uppermost level** is a small bank (16 registers by default) with
+  many ports, a fully-associative organisation and pseudo-LRU
+  replacement; it is the only bank that can feed the functional units, so
+  the bypass network needs a single level, exactly as with a 1-cycle
+  monolithic register file;
+* the **lowest level** holds every physical register (128 by default) and
+  is always written by every result;
+* results are optionally also written to the uppermost level according to
+  a :class:`~repro.regfile.policies.CachingPolicy`;
+* values missing from the uppermost level are brought up over a limited
+  number of buses, either on demand or ahead of time according to a
+  :class:`~repro.regfile.prefetch.FetchPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.execute.scoreboard import ValueState
+from repro.regfile.base import (
+    OperandAccess,
+    OperandSource,
+    RegisterFileModel,
+    UNLIMITED,
+)
+from repro.regfile.bus import TransferBusSet
+from repro.regfile.policies import CachingPolicy, NonBypassCaching
+from repro.regfile.ports import PortSet, WriteScheduler
+from repro.regfile.prefetch import FetchPolicy, FetchOnDemand
+from repro.regfile.replacement import PseudoLRU
+from repro.rename.renamer import PhysicalRegister
+
+
+class RegisterFileCache(RegisterFileModel):
+    """Two-level register file with caching and prefetching policies."""
+
+    read_stages = 1
+    bypass_levels = 1
+
+    def __init__(
+        self,
+        upper_capacity: int = 16,
+        caching_policy: Optional[CachingPolicy] = None,
+        fetch_policy: Optional[FetchPolicy] = None,
+        upper_read_ports: Optional[int] = UNLIMITED,
+        upper_write_ports: Optional[int] = UNLIMITED,
+        lower_write_ports: Optional[int] = UNLIMITED,
+        num_buses: Optional[int] = UNLIMITED,
+        lower_read_latency: int = 1,
+        name: Optional[str] = None,
+    ) -> None:
+        if upper_capacity <= 0 or upper_capacity & (upper_capacity - 1):
+            raise ConfigurationError("upper_capacity must be a positive power of two")
+        if lower_read_latency <= 0:
+            raise ConfigurationError("lower_read_latency must be positive")
+        self.upper_capacity = upper_capacity
+        self.caching_policy = caching_policy or NonBypassCaching()
+        self.fetch_policy = fetch_policy or FetchOnDemand()
+        self.upper_read_ports = PortSet(upper_read_ports, kind="upper-read")
+        self.upper_result_writes = WriteScheduler(upper_write_ports, kind="upper-write")
+        self.lower_writes = WriteScheduler(lower_write_ports, kind="lower-write")
+        self.lower_read_latency = lower_read_latency
+        # A transfer reads the lowest level and then writes the uppermost
+        # level; the bus is busy for the whole transfer.
+        self.buses = TransferBusSet(num_buses, transfer_latency=lower_read_latency + 1)
+        self._upper: PseudoLRU[PhysicalRegister] = PseudoLRU(upper_capacity)
+        self._pending_fills: Dict[PhysicalRegister, int] = {}
+        #: Registers pinned until read because the oldest waiting instruction
+        #: needs them.  Pinned entries are never evicted; since at most the
+        #: two operands of one instruction are pinned and the upper level has
+        #: at least four entries, an evictable way always exists and the
+        #: oldest instruction is guaranteed to make forward progress even
+        #: with a tiny, heavily thrashed upper level.
+        self._read_pinned: set[PhysicalRegister] = set()
+        self.name = name or (
+            f"register file cache ({self.caching_policy.name} caching + "
+            f"{self.fetch_policy.name})"
+        )
+        # statistics
+        self.reads_from_bypass = 0
+        self.reads_from_upper = 0
+        self.upper_misses = 0
+        self.demand_fills = 0
+        self.prefetch_fills = 0
+        self.results_cached = 0
+        self.results_not_cached = 0
+        self.cache_write_conflicts = 0
+        self.read_port_stalls = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # per-cycle bookkeeping
+    # ------------------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        self.upper_read_ports.begin_cycle()
+        completed = [reg for reg, done in self._pending_fills.items() if done <= cycle]
+        for register in completed:
+            del self._pending_fills[register]
+            self._insert_upper(register, cycle)
+        if cycle % 1024 == 0:
+            self.lower_writes.forget_before(cycle)
+            self.upper_result_writes.forget_before(cycle)
+
+    def _insert_upper(self, register: PhysicalRegister, cycle: int) -> None:
+        evicted = self._upper.insert(
+            register,
+            can_evict=lambda candidate: candidate not in self._read_pinned,
+        )
+        if evicted is not None:
+            self.evictions += 1
+
+    def present_in_upper(self, register: PhysicalRegister) -> bool:
+        """Whether the uppermost level currently holds ``register``."""
+        return register in self._upper
+
+    def fill_in_flight(self, register: PhysicalRegister) -> Optional[int]:
+        """Completion cycle of an in-flight fill for ``register``, if any."""
+        return self._pending_fills.get(register)
+
+    # ------------------------------------------------------------------
+    # reads (issue side)
+    # ------------------------------------------------------------------
+
+    def plan_operand_read(
+        self, register: PhysicalRegister, state: ValueState, issue_cycle: int
+    ) -> OperandAccess:
+        if state.ex_end_cycle is None:
+            return OperandAccess(register, OperandSource.NOT_READY)
+        ex_start = issue_cycle + self.read_stages
+        earliest_ex = state.ex_end_cycle + 1
+        if ex_start < earliest_ex:
+            return OperandAccess(
+                register, OperandSource.NOT_READY, retry_cycle=state.ex_end_cycle
+            )
+        if ex_start == earliest_ex:
+            # The single bypass level catches results exactly one cycle
+            # after the producer finishes.
+            return OperandAccess(register, OperandSource.BYPASS)
+        if register in self._upper:
+            # Mark the entry hot: the instruction planning this read may be
+            # waiting for another operand, and this copy must survive until
+            # both are available.
+            self._upper.touch(register)
+            return OperandAccess(register, OperandSource.FILE)
+        pending = self._pending_fills.get(register)
+        if pending is not None:
+            return OperandAccess(register, OperandSource.NOT_READY, retry_cycle=pending)
+        if state.written_back and state.rf_ready_cycle is not None \
+                and issue_cycle >= state.rf_ready_cycle:
+            return OperandAccess(register, OperandSource.MISS)
+        retry = state.rf_ready_cycle
+        return OperandAccess(register, OperandSource.NOT_READY, retry_cycle=retry)
+
+    def can_claim_reads(self, accesses: Sequence[OperandAccess]) -> bool:
+        needed = sum(1 for access in accesses if access.source is OperandSource.FILE)
+        if needed == 0:
+            return True
+        available = self.upper_read_ports.available_capped(needed)
+        if not available:
+            self.read_port_stalls += 1
+        return available
+
+    def claim_reads(self, accesses: Sequence[OperandAccess]) -> None:
+        needed = 0
+        for access in accesses:
+            if access.source is OperandSource.FILE:
+                needed += 1
+                self.reads_from_upper += 1
+                if access.register in self._upper:
+                    self._upper.touch(access.register)
+                self._read_pinned.discard(access.register)
+            elif access.source is OperandSource.BYPASS:
+                self.reads_from_bypass += 1
+                self._read_pinned.discard(access.register)
+        if needed:
+            self.upper_read_ports.claim_capped(needed)
+
+    # ------------------------------------------------------------------
+    # fills and prefetches
+    # ------------------------------------------------------------------
+
+    def pin_operand(self, register: PhysicalRegister) -> None:
+        if register in self._upper or register in self._pending_fills:
+            self._read_pinned.add(register)
+
+    def request_fill(
+        self,
+        register: PhysicalRegister,
+        state: ValueState,
+        cycle: int,
+        prefetch: bool = False,
+        pin: bool = False,
+    ) -> Optional[int]:
+        """Start moving ``register`` from the lowest to the uppermost level.
+
+        Returns the completion cycle, or ``None`` when the transfer cannot
+        start (value not yet written back, or all buses busy).
+        """
+        if register in self._upper:
+            return cycle
+        pending = self._pending_fills.get(register)
+        if pending is not None:
+            return pending
+        if not state.written_back or state.rf_ready_cycle is None:
+            return None
+        if cycle < state.rf_ready_cycle:
+            return None
+        completion = self.buses.try_start_transfer(cycle)
+        if completion is None:
+            return None
+        self._pending_fills[register] = completion
+        if pin:
+            self._read_pinned.add(register)
+        if prefetch:
+            self.prefetch_fills += 1
+        else:
+            self.demand_fills += 1
+        return completion
+
+    def on_issue(self, entry, cycle: int, window, scoreboard) -> None:
+        self.fetch_policy.on_issue(self, entry, cycle, window, scoreboard)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def writeback(
+        self,
+        register: PhysicalRegister,
+        state: ValueState,
+        cycle: int,
+        window,
+    ) -> int:
+        lower_ready = self.lower_writes.schedule(cycle)
+        if self.caching_policy.should_cache(register, state, window, cycle):
+            if self.upper_result_writes.reserve(cycle):
+                self._insert_upper(register, cycle)
+                self.results_cached += 1
+            else:
+                self.cache_write_conflicts += 1
+                self.results_not_cached += 1
+        else:
+            self.results_not_cached += 1
+        return lower_ready
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+
+    def release(self, register: PhysicalRegister) -> None:
+        self._upper.remove(register)
+        self._pending_fills.pop(register, None)
+        self._read_pinned.discard(register)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        reads = "inf" if self.upper_read_ports.unlimited else str(self.upper_read_ports.count)
+        writes = (
+            "inf"
+            if self.upper_result_writes.unlimited
+            else str(self.upper_result_writes.ports_per_cycle)
+        )
+        buses = "inf" if self.buses.unlimited else str(self.buses.count)
+        return f"{self.name} ({reads}R/{writes}W upper, {buses} buses)"
+
+    def statistics(self) -> dict:
+        return {
+            "reads_from_bypass": self.reads_from_bypass,
+            "reads_from_upper": self.reads_from_upper,
+            "upper_misses": self.upper_misses,
+            "demand_fills": self.demand_fills,
+            "prefetch_fills": self.prefetch_fills,
+            "results_cached": self.results_cached,
+            "results_not_cached": self.results_not_cached,
+            "cache_write_conflicts": self.cache_write_conflicts,
+            "read_port_stalls": self.read_port_stalls,
+            "evictions": self.evictions,
+            "bus_transfers": self.buses.transfers_started,
+            "bus_denied": self.buses.transfers_denied,
+        }

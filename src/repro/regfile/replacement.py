@@ -1,0 +1,135 @@
+"""Pseudo-LRU replacement for the fully-associative upper bank.
+
+The paper specifies a fully-associative upper level with pseudo-LRU
+replacement.  For the small capacities involved (16 registers) a
+tree-based pseudo-LRU is modelled: entries are arranged at the leaves of
+a complete binary tree whose internal nodes each hold one bit pointing
+towards the "colder" half; a victim is found by following the bits, and a
+touch flips the bits along the path away from the touched leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Optional, TypeVar
+
+from repro.errors import ConfigurationError, RegisterFileError
+
+KeyT = TypeVar("KeyT", bound=Hashable)
+
+
+class PseudoLRU(Generic[KeyT]):
+    """Tree pseudo-LRU over a fixed number of ways."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ConfigurationError("PseudoLRU capacity must be a positive power of two")
+        self.capacity = capacity
+        self._bits: List[int] = [0] * max(1, capacity - 1)
+        self._slot_of: Dict[KeyT, int] = {}
+        self._key_at: List[Optional[KeyT]] = [None] * capacity
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, key: KeyT) -> bool:
+        return key in self._slot_of
+
+    @property
+    def full(self) -> bool:
+        return len(self._slot_of) >= self.capacity
+
+    def keys(self) -> List[KeyT]:
+        return list(self._slot_of)
+
+    # ------------------------------------------------------------------
+
+    def _touch_slot(self, slot: int) -> None:
+        """Flip the tree bits along the path so they point away from ``slot``."""
+        if self.capacity == 1:
+            return
+        node = 0
+        low, high = 0, self.capacity
+        while high - low > 1:
+            mid = (low + high) // 2
+            if slot < mid:
+                self._bits[node] = 1  # cold side is the right half
+                node = 2 * node + 1
+                high = mid
+            else:
+                self._bits[node] = 0  # cold side is the left half
+                node = 2 * node + 2
+                low = mid
+        del node
+
+    def _victim_slot(self) -> int:
+        """Follow the bits to the pseudo-least-recently-used slot."""
+        if self.capacity == 1:
+            return 0
+        node = 0
+        low, high = 0, self.capacity
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                high = mid
+            else:
+                node = 2 * node + 2
+                low = mid
+        return low
+
+    # ------------------------------------------------------------------
+
+    def touch(self, key: KeyT) -> None:
+        """Mark ``key`` as recently used.
+
+        Raises
+        ------
+        RegisterFileError
+            If ``key`` is not currently resident.
+        """
+        slot = self._slot_of.get(key)
+        if slot is None:
+            raise RegisterFileError(f"cannot touch non-resident key {key!r}")
+        self._touch_slot(slot)
+
+    def insert(self, key: KeyT, can_evict=None) -> Optional[KeyT]:
+        """Insert ``key``; returns the evicted key (or ``None``).
+
+        Inserting a resident key just touches it.  ``can_evict`` is an
+        optional predicate over candidate victims: candidates it rejects
+        are touched (marked hot) and another victim is tried, up to one
+        pass over the ways; if every way is rejected the last candidate is
+        evicted anyway so insertion always makes forward progress.
+        """
+        if key in self._slot_of:
+            self.touch(key)
+            return None
+        evicted: Optional[KeyT] = None
+        if self.full:
+            slot = self._victim_slot()
+            if can_evict is not None:
+                for _ in range(self.capacity):
+                    candidate = self._key_at[slot]
+                    if candidate is None or can_evict(candidate):
+                        break
+                    self._touch_slot(slot)
+                    slot = self._victim_slot()
+            evicted = self._key_at[slot]
+            if evicted is not None:
+                del self._slot_of[evicted]
+        else:
+            slot = next(i for i, k in enumerate(self._key_at) if k is None)
+        self._key_at[slot] = key
+        self._slot_of[key] = slot
+        self._touch_slot(slot)
+        return evicted
+
+    def remove(self, key: KeyT) -> bool:
+        """Remove ``key`` if resident; returns whether it was present."""
+        slot = self._slot_of.pop(key, None)
+        if slot is None:
+            return False
+        self._key_at[slot] = None
+        return True

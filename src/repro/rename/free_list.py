@@ -1,0 +1,84 @@
+"""Free list of physical registers."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import ConfigurationError, RenameError
+
+
+class FreeList:
+    """FIFO free list of physical register identifiers.
+
+    Physical registers are plain integers.  The free list is a FIFO so
+    register identifiers are recycled in a round-robin fashion, which is
+    both realistic and makes simulations deterministic.
+    """
+
+    def __init__(self, registers: Iterable[int],
+                 valid_registers: Iterable[int] | None = None) -> None:
+        """Create a free list.
+
+        Parameters
+        ----------
+        registers:
+            Registers that are free initially.
+        valid_registers:
+            The full register space this pool manages (registers that are
+            currently mapped may be released into the pool later).
+            Defaults to ``registers``.
+        """
+        self._free = deque(registers)
+        initially_free = set(self._free)
+        if len(initially_free) != len(self._free):
+            raise ConfigurationError("free list initialized with duplicate registers")
+        self._valid = set(valid_registers) if valid_registers is not None else set(initially_free)
+        if not initially_free <= self._valid:
+            raise ConfigurationError("initially free registers must be within the valid set")
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    @property
+    def empty(self) -> bool:
+        return not self._free
+
+    def allocate(self) -> int:
+        """Pop a free physical register.
+
+        Raises
+        ------
+        RenameError
+            If no register is free (the caller must check first).
+        """
+        if not self._free:
+            raise RenameError("free list underflow")
+        return self._free.popleft()
+
+    def release(self, register: int) -> None:
+        """Return a physical register to the pool.
+
+        Raises
+        ------
+        RenameError
+            If the register is already free (double release) or was never
+            part of this free list's register space.
+        """
+        if register not in self._valid:
+            raise RenameError(f"physical register {register} does not belong to this pool")
+        if register in self._free:
+            raise RenameError(f"double release of physical register {register}")
+        self._free.append(register)
+
+    def contains(self, register: int) -> bool:
+        """Whether ``register`` is currently free."""
+        return register in self._free
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable snapshot of the current free registers (for checkpoints)."""
+        return tuple(self._free)
+
+    def restore(self, snapshot: tuple[int, ...]) -> None:
+        """Restore a snapshot taken with :meth:`snapshot`."""
+        self._free = deque(snapshot)

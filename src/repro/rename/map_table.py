@@ -1,0 +1,56 @@
+"""Logical → physical register map table with checkpointing."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.errors import RenameError
+from repro.isa.instruction import LogicalRegister
+
+
+class MapTable:
+    """The speculative rename map from logical to physical registers."""
+
+    def __init__(self, initial: Dict[LogicalRegister, int] | None = None) -> None:
+        self._map: Dict[LogicalRegister, int] = dict(initial or {})
+
+    def lookup(self, register: LogicalRegister) -> int:
+        """Return the physical register currently mapped to ``register``.
+
+        Raises
+        ------
+        RenameError
+            If the logical register has no mapping (the renamer always
+            seeds an initial mapping, so this indicates a bug).
+        """
+        try:
+            return self._map[register]
+        except KeyError as exc:
+            raise RenameError(f"logical register {register} has no mapping") from exc
+
+    def contains(self, register: LogicalRegister) -> bool:
+        return register in self._map
+
+    def update(self, register: LogicalRegister, physical: int) -> int | None:
+        """Map ``register`` to ``physical``; returns the previous mapping."""
+        previous = self._map.get(register)
+        self._map[register] = physical
+        return previous
+
+    def mapped_physical_registers(self) -> set[int]:
+        """The set of physical registers currently mapped."""
+        return set(self._map.values())
+
+    def checkpoint(self) -> Dict[LogicalRegister, int]:
+        """Return a copy of the current mapping (branch checkpoint)."""
+        return dict(self._map)
+
+    def restore(self, checkpoint: Dict[LogicalRegister, int]) -> None:
+        """Restore a mapping copied with :meth:`checkpoint`."""
+        self._map = dict(checkpoint)
+
+    def items(self) -> Iterable[tuple[LogicalRegister, int]]:
+        return self._map.items()
+
+    def __len__(self) -> int:
+        return len(self._map)

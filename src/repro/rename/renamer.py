@@ -1,0 +1,201 @@
+"""The register renamer.
+
+Dynamically scheduled processors rename logical to physical registers at
+decode so every in-flight result gets its own physical register (Section
+2 of the paper).  The renamer here keeps one map table and one free list
+per register class (integer and floating point), supports checkpointing
+for recovery, and records the *previous* mapping of each destination so
+the physical register can be released when the next writer of the same
+logical register commits (the paper's "registers are released late"
+observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError, RenameError
+from repro.isa.instruction import (
+    DynamicInstruction,
+    LogicalRegister,
+    RegisterClass,
+    INT_LOGICAL_REGISTERS,
+    FP_LOGICAL_REGISTERS,
+)
+from repro.rename.free_list import FreeList
+from repro.rename.map_table import MapTable
+
+
+@dataclass(frozen=True)
+class PhysicalRegister:
+    """A physical register identifier (register class + index)."""
+
+    reg_class: RegisterClass
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        prefix = "p" if self.reg_class is RegisterClass.INT else "pf"
+        return f"{prefix}{self.index}"
+
+
+@dataclass
+class RenamedInstruction:
+    """A dynamic instruction after renaming."""
+
+    instruction: DynamicInstruction
+    sources: tuple[PhysicalRegister, ...] = ()
+    dest: Optional[PhysicalRegister] = None
+    previous_dest: Optional[PhysicalRegister] = None
+    annotations: dict = field(default_factory=dict)
+
+    @property
+    def seq(self) -> int:
+        return self.instruction.seq
+
+
+class Renamer:
+    """Renames logical registers of a dynamic instruction stream."""
+
+    def __init__(self, num_int_physical: int = 128, num_fp_physical: int = 128) -> None:
+        num_logical = len(INT_LOGICAL_REGISTERS)
+        if num_int_physical <= num_logical or num_fp_physical <= num_logical:
+            raise ConfigurationError(
+                f"need more physical than logical registers "
+                f"({num_logical} logical per class)"
+            )
+        self.num_int_physical = num_int_physical
+        self.num_fp_physical = num_fp_physical
+
+        self._map: Dict[RegisterClass, MapTable] = {}
+        self._free: Dict[RegisterClass, FreeList] = {}
+        self._checkpoints: Dict[int, dict] = {}
+        self._next_checkpoint_id = 0
+
+        for reg_class, count, logicals in (
+            (RegisterClass.INT, num_int_physical, INT_LOGICAL_REGISTERS),
+            (RegisterClass.FP, num_fp_physical, FP_LOGICAL_REGISTERS),
+        ):
+            initial = {logical: i for i, logical in enumerate(logicals)}
+            self._map[reg_class] = MapTable(initial)
+            self._free[reg_class] = FreeList(
+                range(len(logicals), count), valid_registers=range(count)
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def free_count(self, reg_class: RegisterClass) -> int:
+        """Number of currently free physical registers of ``reg_class``."""
+        return len(self._free[reg_class])
+
+    def can_rename(self, instruction: DynamicInstruction) -> bool:
+        """Whether a free destination register is available for ``instruction``."""
+        if instruction.dest is None:
+            return True
+        return not self._free[instruction.dest.reg_class].empty
+
+    def current_mapping(self, register: LogicalRegister) -> PhysicalRegister:
+        index = self._map[register.reg_class].lookup(register)
+        return PhysicalRegister(register.reg_class, index)
+
+    # ------------------------------------------------------------------
+    # renaming
+    # ------------------------------------------------------------------
+
+    def rename(self, instruction: DynamicInstruction) -> RenamedInstruction:
+        """Rename one instruction (sources first, then the destination).
+
+        Raises
+        ------
+        RenameError
+            If no free physical register is available for the destination;
+            callers should check :meth:`can_rename` first.
+        """
+        sources = tuple(self.current_mapping(src) for src in instruction.sources)
+        dest: Optional[PhysicalRegister] = None
+        previous: Optional[PhysicalRegister] = None
+        if instruction.dest is not None:
+            reg_class = instruction.dest.reg_class
+            free_list = self._free[reg_class]
+            if free_list.empty:
+                raise RenameError(
+                    f"no free {reg_class.value} physical register for seq "
+                    f"{instruction.seq}"
+                )
+            new_index = free_list.allocate()
+            old_index = self._map[reg_class].update(instruction.dest, new_index)
+            dest = PhysicalRegister(reg_class, new_index)
+            if old_index is not None:
+                previous = PhysicalRegister(reg_class, old_index)
+        return RenamedInstruction(
+            instruction=instruction,
+            sources=sources,
+            dest=dest,
+            previous_dest=previous,
+        )
+
+    # ------------------------------------------------------------------
+    # retirement / recovery
+    # ------------------------------------------------------------------
+
+    def commit(self, renamed: RenamedInstruction) -> Optional[PhysicalRegister]:
+        """Commit ``renamed``: release the previous mapping of its destination.
+
+        Returns the released physical register (or ``None``).
+        """
+        if renamed.previous_dest is None:
+            return None
+        self._free[renamed.previous_dest.reg_class].release(renamed.previous_dest.index)
+        return renamed.previous_dest
+
+    def squash(self, renamed: RenamedInstruction) -> None:
+        """Undo the rename of a squashed (never committed) instruction.
+
+        The *new* destination register is returned to the free list and
+        the previous mapping is restored, provided the instruction is
+        squashed in reverse program order (youngest first).
+        """
+        if renamed.dest is None:
+            return
+        reg_class = renamed.dest.reg_class
+        current = self._map[reg_class].lookup(renamed.instruction.dest)
+        if current != renamed.dest.index:
+            raise RenameError(
+                "squash must proceed youngest-first; mapping already overwritten"
+            )
+        if renamed.previous_dest is not None:
+            self._map[reg_class].update(renamed.instruction.dest, renamed.previous_dest.index)
+        self._free[reg_class].release(renamed.dest.index)
+
+    def checkpoint(self) -> int:
+        """Take a checkpoint of the full rename state; returns its id."""
+        checkpoint_id = self._next_checkpoint_id
+        self._next_checkpoint_id += 1
+        self._checkpoints[checkpoint_id] = {
+            reg_class: (self._map[reg_class].checkpoint(), self._free[reg_class].snapshot())
+            for reg_class in (RegisterClass.INT, RegisterClass.FP)
+        }
+        return checkpoint_id
+
+    def restore(self, checkpoint_id: int) -> None:
+        """Restore a checkpoint taken with :meth:`checkpoint`."""
+        try:
+            saved = self._checkpoints.pop(checkpoint_id)
+        except KeyError as exc:
+            raise RenameError(f"unknown checkpoint {checkpoint_id}") from exc
+        for reg_class, (mapping, free) in saved.items():
+            self._map[reg_class].restore(mapping)
+            self._free[reg_class].restore(free)
+
+    def discard_checkpoint(self, checkpoint_id: int) -> None:
+        """Drop a checkpoint that is no longer needed."""
+        self._checkpoints.pop(checkpoint_id, None)
+
+    # ------------------------------------------------------------------
+
+    def in_use_registers(self, reg_class: RegisterClass) -> int:
+        """Number of physical registers currently not free."""
+        total = self.num_int_physical if reg_class is RegisterClass.INT else self.num_fp_physical
+        return total - len(self._free[reg_class])

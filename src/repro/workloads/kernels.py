@@ -1,0 +1,190 @@
+"""Hand-written kernels in the toy ISA.
+
+These kernels exercise the full pipeline — real dataflow, loops, loads
+and stores with genuine addresses — and are used by the examples and the
+integration tests.  They complement the statistical SPEC95-substitute
+workloads in :mod:`repro.workloads.synthetic`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator
+
+from repro.isa.assembler import assemble
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.program import Program
+
+
+def dot_product_program(length: int = 64) -> Program:
+    """Floating-point dot product of two vectors of ``length`` elements."""
+    text = f"""
+        li   r1, 0x2000        # base of vector a
+        li   r2, 0x4000        # base of vector b
+        li   r3, {length}      # loop counter
+        li   r4, 0             # zero
+        fsub f1, f1, f1        # accumulator = 0
+    loop:
+        flw  f2, r1, 0
+        flw  f3, r2, 0
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        addi r1, r1, 8
+        addi r2, r2, 8
+        addi r3, r3, -1
+        bne  r3, r4, loop
+        fsw  f1, r1, 0
+    """
+    return assemble(text)
+
+
+def vector_scale_program(length: int = 64) -> Program:
+    """Scale a vector by a constant: ``a[i] = a[i] * k`` (streaming FP)."""
+    text = f"""
+        li   r1, 0x2000
+        li   r3, {length}
+        li   r4, 0
+        li   r5, 3
+        fsub f5, f5, f5
+    loop:
+        flw  f2, r1, 0
+        fmul f3, f2, f2
+        fadd f3, f3, f5
+        fsw  f3, r1, 0
+        addi r1, r1, 8
+        addi r3, r3, -1
+        bne  r3, r4, loop
+    """
+    return assemble(text)
+
+
+def linked_list_walk_program(nodes: int = 64) -> Program:
+    """Pointer-chasing loop typical of integer codes (li, vortex).
+
+    The list is laid out so that node ``i`` lives at ``0x8000 + 32 * i``
+    and its "next" pointer is loaded from memory (value 0 terminates, but
+    the loop is bounded by a counter so the functional run always ends).
+    """
+    text = f"""
+        li   r1, 0x8000        # current node pointer
+        li   r3, {nodes}       # safety counter
+        li   r4, 0
+        li   r6, 0             # sum of payloads
+    loop:
+        lw   r2, r1, 8         # payload
+        add  r6, r6, r2
+        lw   r5, r1, 0         # next pointer (0 in a fresh memory)
+        addi r1, r1, 32        # advance to the next node layout slot
+        addi r3, r3, -1
+        bne  r3, r4, loop
+        sw   r6, r1, 0
+    """
+    return assemble(text)
+
+
+def stencil_program(width: int = 32, rows: int = 8) -> Program:
+    """1-D three-point stencil applied ``rows`` times (hydro2d/swim-like)."""
+    text = f"""
+        li   r7, {rows}
+        li   r4, 0
+    outer:
+        li   r1, 0x2000
+        li   r3, {width}
+    inner:
+        flw  f1, r1, 0
+        flw  f2, r1, 8
+        flw  f3, r1, 16
+        fadd f4, f1, f2
+        fadd f5, f4, f3
+        fmul f6, f5, f5
+        fsw  f6, r1, 8
+        addi r1, r1, 8
+        addi r3, r3, -1
+        bne  r3, r4, inner
+        addi r7, r7, -1
+        bne  r7, r4, outer
+    """
+    return assemble(text)
+
+
+def matmul_program(size: int = 8) -> Program:
+    """Naive ``size``×``size`` matrix multiply (FP compute dense)."""
+    text = f"""
+        li   r10, {size}
+        li   r4, 0
+        li   r1, 0             # i
+    iloop:
+        li   r2, 0             # j
+    jloop:
+        fsub f1, f1, f1        # acc = 0
+        li   r3, 0             # k
+        li   r5, 0x2000        # A base
+        li   r6, 0x6000        # B base
+    kloop:
+        flw  f2, r5, 0
+        flw  f3, r6, 0
+        fmul f4, f2, f3
+        fadd f1, f1, f4
+        addi r5, r5, 8
+        addi r6, r6, 64
+        addi r3, r3, 1
+        blt  r3, r10, kloop
+        fsw  f1, r5, 0
+        addi r2, r2, 1
+        blt  r2, r10, jloop
+        addi r1, r1, 1
+        blt  r1, r10, iloop
+    """
+    return assemble(text)
+
+
+def hash_lookup_program(lookups: int = 64) -> Program:
+    """Hash-table probing loop with data-dependent branches (perl/gcc-like)."""
+    text = f"""
+        li   r1, 0xA000        # table base
+        li   r3, {lookups}
+        li   r4, 0
+        li   r6, 17            # key
+        li   r9, 0             # hit counter
+    loop:
+        mul  r7, r6, r6
+        and  r7, r7, r3
+        sll  r8, r7, r6
+        xor  r6, r6, r8
+        and  r5, r6, r3
+        sll  r5, r5, r4
+        add  r5, r5, r1
+        lw   r2, r5, 0
+        beq  r2, r6, hit
+        addi r9, r9, 0
+        jmp  next
+    hit:
+        addi r9, r9, 1
+    next:
+        addi r3, r3, -1
+        bne  r3, r4, loop
+        sw   r9, r1, 0
+    """
+    return assemble(text)
+
+
+#: Mapping from kernel name to program factory (default parameters).
+KERNELS: Dict[str, Callable[[], Program]] = {
+    "dot_product": dot_product_program,
+    "vector_scale": vector_scale_program,
+    "linked_list_walk": linked_list_walk_program,
+    "stencil": stencil_program,
+    "matmul": matmul_program,
+    "hash_lookup": hash_lookup_program,
+}
+
+
+def kernel_workload(name: str, max_instructions: int = 20_000) -> Iterator[DynamicInstruction]:
+    """Return the dynamic stream of the named kernel.
+
+    Raises
+    ------
+    KeyError
+        If the kernel name is unknown.
+    """
+    program = KERNELS[name]()
+    return program.run(max_instructions=max_instructions)

@@ -1,0 +1,559 @@
+"""Per-benchmark workload profiles standing in for SPEC95.
+
+Each profile describes the statistical properties of one benchmark that
+the register-file experiments are sensitive to:
+
+* the instruction mix (how many FP ops, loads, stores, branches...),
+* how quickly produced values are consumed (dependency distance), which
+  controls how often operands are satisfied by the bypass network versus
+  the register file — the core quantity behind the caching policies,
+* how many consumers each value has (most register values are read at
+  most once; the paper measures 88% for SpecInt95 and 85% for SpecFP95),
+* branch density and predictability (integer codes mispredict much more,
+  which is why they are more sensitive to register-file latency),
+* memory working-set size and access regularity (controls D-cache misses).
+
+The numbers are drawn from the well-known published characteristics of
+SPEC95 (instruction mixes, misprediction rates, cache behaviour); they do
+not need to be exact — the experiments compare register-file
+architectures on the *same* workloads, so only the realism of the ranges
+matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.isa.opcodes import OpClass
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Branch behaviour of a benchmark.
+
+    Attributes
+    ----------
+    num_static_branches:
+        Size of the static branch pool; dynamic branches are drawn from it
+        (a small pool with strong bias is easy for gshare, a large pool of
+        data-dependent branches is hard).
+    loop_fraction:
+        Fraction of dynamic branches that are loop back-edges (taken
+        ``loop_trip_count - 1`` times out of ``loop_trip_count``).
+    loop_trip_count:
+        Average trip count of loop branches.
+    data_dependent_bias:
+        Taken-probability of the remaining, data-dependent branches.  A
+        bias close to 0.5 is nearly unpredictable; a strong bias is easy.
+    correlated_fraction:
+        Fraction of data-dependent branches whose outcome follows a short
+        repeating pattern (gshare captures those via global history).
+    """
+
+    num_static_branches: int = 64
+    loop_fraction: float = 0.6
+    loop_trip_count: int = 16
+    data_dependent_bias: float = 0.7
+    correlated_fraction: float = 0.4
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Memory behaviour of a benchmark.
+
+    Attributes
+    ----------
+    working_set_bytes:
+        Size of the data footprint addressed by loads and stores.
+    streaming_fraction:
+        Fraction of memory references that follow sequential (unit-stride)
+        streams; the rest are scattered accesses.
+    num_streams:
+        Number of concurrent sequential streams.
+    stride_bytes:
+        Stride of the sequential streams.
+    hot_fraction:
+        Fraction of the scattered (non-streaming) accesses that fall into
+        a small hot region (stack, frequently used heap objects); the rest
+        are spread over the full working set.  This is what gives the
+        benchmark its data-cache hit rate.
+    hot_region_bytes:
+        Size of the hot region.
+    """
+
+    working_set_bytes: int = 256 * 1024
+    streaming_fraction: float = 0.6
+    num_streams: int = 4
+    stride_bytes: int = 8
+    hot_fraction: float = 0.9
+    hot_region_bytes: int = 8 * 1024
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Full statistical description of one synthetic benchmark."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    instruction_mix: dict[OpClass, float] = field(default_factory=dict)
+    #: Geometric-distribution parameter for the distance (in dynamic
+    #: instructions) between a value's producer and each consumer.  Larger
+    #: values mean consumers appear sooner (more bypassing).
+    dependency_locality: float = 0.25
+    #: Probability that a produced value is read exactly once, twice, or
+    #: never (must sum to <= 1; the remainder is 3+ reads).
+    read_once_fraction: float = 0.70
+    read_twice_fraction: float = 0.10
+    never_read_fraction: float = 0.18
+    #: Fraction of source operands that reference "old" values (produced
+    #: far in the past, e.g. loop-invariant or global values).
+    long_range_fraction: float = 0.08
+    #: Fraction of instructions that chain on two in-flight values at once
+    #: (a*b+c style); the rest chain on at most one recently produced
+    #: value.  Keeping this small keeps the number of simultaneously live
+    #: and needed registers at the level the paper measures (Figure 3).
+    two_chained_fraction: float = 0.12
+    branches: BranchProfile = field(default_factory=BranchProfile)
+    memory: MemoryProfile = field(default_factory=MemoryProfile)
+    #: Static code footprint in bytes (determines I-cache behaviour).
+    code_footprint_bytes: int = 32 * 1024
+    #: Default RNG seed so every run of a benchmark is reproducible.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise WorkloadError(f"suite must be 'int' or 'fp', got {self.suite!r}")
+        total = sum(self.instruction_mix.values())
+        if not 0.99 <= total <= 1.01:
+            raise WorkloadError(
+                f"instruction mix of {self.name} sums to {total:.3f}, expected 1.0"
+            )
+        reads = self.read_once_fraction + self.read_twice_fraction + self.never_read_fraction
+        if reads > 1.0 + 1e-9:
+            raise WorkloadError(
+                f"read-count fractions of {self.name} sum to {reads:.3f} > 1"
+            )
+        if not 0.0 < self.dependency_locality <= 1.0:
+            raise WorkloadError("dependency_locality must be in (0, 1]")
+
+    @property
+    def is_fp(self) -> bool:
+        return self.suite == "fp"
+
+
+def _mix(**kwargs: float) -> dict[OpClass, float]:
+    """Build an instruction-mix dict from keyword fractions.
+
+    Keys are lower-case OpClass value names (``int_alu``, ``load``...).
+    """
+    mapping = {cls.value: cls for cls in OpClass}
+    mix = {}
+    for key, fraction in kwargs.items():
+        if key not in mapping:
+            raise WorkloadError(f"unknown op class {key!r}")
+        mix[mapping[key]] = fraction
+    return mix
+
+
+def _int_profile(
+    name: str,
+    seed: int,
+    *,
+    branch_fraction: float = 0.16,
+    load_fraction: float = 0.24,
+    store_fraction: float = 0.10,
+    mul_fraction: float = 0.01,
+    div_fraction: float = 0.002,
+    dependency_locality: float = 0.30,
+    branches: BranchProfile | None = None,
+    memory: MemoryProfile | None = None,
+    read_once_fraction: float = 0.72,
+    never_read_fraction: float = 0.16,
+    long_range_fraction: float = 0.08,
+    two_chained_fraction: float = 0.22,
+    code_footprint_bytes: int = 24 * 1024,
+) -> BenchmarkProfile:
+    alu = 1.0 - branch_fraction - load_fraction - store_fraction - mul_fraction - div_fraction
+    return BenchmarkProfile(
+        name=name,
+        suite="int",
+        instruction_mix=_mix(
+            int_alu=alu,
+            int_mul=mul_fraction,
+            int_div=div_fraction,
+            load=load_fraction,
+            store=store_fraction,
+            branch=branch_fraction,
+        ),
+        dependency_locality=dependency_locality,
+        read_once_fraction=read_once_fraction,
+        read_twice_fraction=0.10,
+        never_read_fraction=never_read_fraction,
+        long_range_fraction=long_range_fraction,
+        two_chained_fraction=two_chained_fraction,
+        branches=branches or BranchProfile(),
+        memory=memory or MemoryProfile(),
+        code_footprint_bytes=code_footprint_bytes,
+        seed=seed,
+    )
+
+
+def _fp_profile(
+    name: str,
+    seed: int,
+    *,
+    branch_fraction: float = 0.06,
+    load_fraction: float = 0.28,
+    store_fraction: float = 0.10,
+    fp_alu_fraction: float = 0.22,
+    fp_mul_fraction: float = 0.16,
+    fp_div_fraction: float = 0.01,
+    int_mul_fraction: float = 0.005,
+    dependency_locality: float = 0.20,
+    branches: BranchProfile | None = None,
+    memory: MemoryProfile | None = None,
+    read_once_fraction: float = 0.70,
+    never_read_fraction: float = 0.15,
+    long_range_fraction: float = 0.10,
+    two_chained_fraction: float = 0.05,
+    code_footprint_bytes: int = 16 * 1024,
+) -> BenchmarkProfile:
+    int_alu = (
+        1.0
+        - branch_fraction
+        - load_fraction
+        - store_fraction
+        - fp_alu_fraction
+        - fp_mul_fraction
+        - fp_div_fraction
+        - int_mul_fraction
+    )
+    return BenchmarkProfile(
+        name=name,
+        suite="fp",
+        instruction_mix=_mix(
+            int_alu=int_alu,
+            int_mul=int_mul_fraction,
+            fp_alu=fp_alu_fraction,
+            fp_mul=fp_mul_fraction,
+            fp_div=fp_div_fraction,
+            load=load_fraction,
+            store=store_fraction,
+            branch=branch_fraction,
+        ),
+        dependency_locality=dependency_locality,
+        read_once_fraction=read_once_fraction,
+        read_twice_fraction=0.12,
+        never_read_fraction=never_read_fraction,
+        long_range_fraction=long_range_fraction,
+        two_chained_fraction=two_chained_fraction,
+        branches=branches
+        or BranchProfile(
+            loop_fraction=0.85,
+            loop_trip_count=64,
+            data_dependent_bias=0.85,
+            correlated_fraction=0.6,
+            num_static_branches=24,
+        ),
+        memory=memory or MemoryProfile(working_set_bytes=1024 * 1024, streaming_fraction=0.85),
+        code_footprint_bytes=code_footprint_bytes,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# SpecInt95 benchmark profiles
+# ----------------------------------------------------------------------
+
+_SPECINT_PROFILES: dict[str, BenchmarkProfile] = {
+    "compress": _int_profile(
+        "compress",
+        seed=101,
+        branch_fraction=0.14,
+        load_fraction=0.22,
+        store_fraction=0.12,
+        dependency_locality=0.34,
+        branches=BranchProfile(
+            num_static_branches=32,
+            loop_fraction=0.55,
+            loop_trip_count=24,
+            data_dependent_bias=0.86,
+            correlated_fraction=0.40,
+        ),
+        memory=MemoryProfile(working_set_bytes=400 * 1024, streaming_fraction=0.45,
+                             hot_fraction=0.88),
+        code_footprint_bytes=24 * 1024,
+    ),
+    "gcc": _int_profile(
+        "gcc",
+        seed=102,
+        branch_fraction=0.19,
+        load_fraction=0.26,
+        store_fraction=0.11,
+        dependency_locality=0.32,
+        branches=BranchProfile(
+            num_static_branches=512,
+            loop_fraction=0.35,
+            loop_trip_count=8,
+            data_dependent_bias=0.88,
+            correlated_fraction=0.40,
+        ),
+        memory=MemoryProfile(working_set_bytes=768 * 1024, streaming_fraction=0.30,
+                             hot_fraction=0.93),
+        code_footprint_bytes=64 * 1024,
+    ),
+    "go": _int_profile(
+        "go",
+        seed=103,
+        branch_fraction=0.17,
+        load_fraction=0.25,
+        store_fraction=0.08,
+        dependency_locality=0.30,
+        branches=BranchProfile(
+            num_static_branches=384,
+            loop_fraction=0.30,
+            loop_trip_count=6,
+            data_dependent_bias=0.80,
+            correlated_fraction=0.20,
+        ),
+        memory=MemoryProfile(working_set_bytes=256 * 1024, streaming_fraction=0.30,
+                             hot_fraction=0.96),
+        code_footprint_bytes=48 * 1024,
+    ),
+    "ijpeg": _int_profile(
+        "ijpeg",
+        seed=104,
+        branch_fraction=0.10,
+        load_fraction=0.22,
+        store_fraction=0.09,
+        mul_fraction=0.04,
+        dependency_locality=0.24,
+        branches=BranchProfile(
+            num_static_branches=48,
+            loop_fraction=0.80,
+            loop_trip_count=32,
+            data_dependent_bias=0.88,
+            correlated_fraction=0.60,
+        ),
+        memory=MemoryProfile(working_set_bytes=256 * 1024, streaming_fraction=0.75,
+                             hot_fraction=0.96),
+    ),
+    "li": _int_profile(
+        "li",
+        seed=105,
+        branch_fraction=0.18,
+        load_fraction=0.28,
+        store_fraction=0.12,
+        dependency_locality=0.33,
+        branches=BranchProfile(
+            num_static_branches=128,
+            loop_fraction=0.45,
+            loop_trip_count=10,
+            data_dependent_bias=0.92,
+            correlated_fraction=0.45,
+        ),
+        memory=MemoryProfile(working_set_bytes=96 * 1024, streaming_fraction=0.35,
+                             hot_fraction=0.97),
+    ),
+    "m88ksim": _int_profile(
+        "m88ksim",
+        seed=106,
+        branch_fraction=0.16,
+        load_fraction=0.22,
+        store_fraction=0.08,
+        dependency_locality=0.30,
+        branches=BranchProfile(
+            num_static_branches=96,
+            loop_fraction=0.60,
+            loop_trip_count=20,
+            data_dependent_bias=0.93,
+            correlated_fraction=0.55,
+        ),
+        memory=MemoryProfile(working_set_bytes=64 * 1024, streaming_fraction=0.50,
+                             hot_fraction=0.97),
+    ),
+    "perl": _int_profile(
+        "perl",
+        seed=107,
+        branch_fraction=0.18,
+        load_fraction=0.27,
+        store_fraction=0.13,
+        dependency_locality=0.31,
+        branches=BranchProfile(
+            num_static_branches=256,
+            loop_fraction=0.40,
+            loop_trip_count=9,
+            data_dependent_bias=0.90,
+            correlated_fraction=0.40,
+        ),
+        memory=MemoryProfile(working_set_bytes=320 * 1024, streaming_fraction=0.35,
+                             hot_fraction=0.94),
+        code_footprint_bytes=56 * 1024,
+    ),
+    "vortex": _int_profile(
+        "vortex",
+        seed=108,
+        branch_fraction=0.15,
+        load_fraction=0.30,
+        store_fraction=0.14,
+        dependency_locality=0.28,
+        branches=BranchProfile(
+            num_static_branches=256,
+            loop_fraction=0.50,
+            loop_trip_count=12,
+            data_dependent_bias=0.95,
+            correlated_fraction=0.55,
+        ),
+        memory=MemoryProfile(working_set_bytes=1024 * 1024, streaming_fraction=0.35,
+                             hot_fraction=0.92),
+        code_footprint_bytes=64 * 1024,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# SpecFP95 benchmark profiles
+# ----------------------------------------------------------------------
+
+_SPECFP_PROFILES: dict[str, BenchmarkProfile] = {
+    "applu": _fp_profile(
+        "applu",
+        seed=201,
+        branch_fraction=0.05,
+        fp_alu_fraction=0.24,
+        fp_mul_fraction=0.18,
+        fp_div_fraction=0.015,
+        dependency_locality=0.20,
+        memory=MemoryProfile(working_set_bytes=2 * 1024 * 1024, streaming_fraction=0.80),
+    ),
+    "apsi": _fp_profile(
+        "apsi",
+        seed=202,
+        branch_fraction=0.08,
+        fp_alu_fraction=0.22,
+        fp_mul_fraction=0.14,
+        dependency_locality=0.24,
+        memory=MemoryProfile(working_set_bytes=1024 * 1024, streaming_fraction=0.65),
+    ),
+    "fpppp": _fp_profile(
+        "fpppp",
+        seed=203,
+        branch_fraction=0.02,
+        load_fraction=0.30,
+        store_fraction=0.12,
+        fp_alu_fraction=0.26,
+        fp_mul_fraction=0.22,
+        dependency_locality=0.12,
+        long_range_fraction=0.18,
+        read_once_fraction=0.62,
+        branches=BranchProfile(
+            num_static_branches=8,
+            loop_fraction=0.90,
+            loop_trip_count=128,
+            data_dependent_bias=0.92,
+            correlated_fraction=0.80,
+        ),
+        memory=MemoryProfile(working_set_bytes=320 * 1024, streaming_fraction=0.55),
+        code_footprint_bytes=64 * 1024,
+    ),
+    "hydro2d": _fp_profile(
+        "hydro2d",
+        seed=204,
+        branch_fraction=0.07,
+        fp_alu_fraction=0.23,
+        fp_mul_fraction=0.15,
+        fp_div_fraction=0.02,
+        dependency_locality=0.22,
+        memory=MemoryProfile(working_set_bytes=1536 * 1024, streaming_fraction=0.80),
+    ),
+    "mgrid": _fp_profile(
+        "mgrid",
+        seed=205,
+        branch_fraction=0.03,
+        load_fraction=0.34,
+        store_fraction=0.06,
+        fp_alu_fraction=0.28,
+        fp_mul_fraction=0.20,
+        dependency_locality=0.14,
+        long_range_fraction=0.16,
+        memory=MemoryProfile(working_set_bytes=4 * 1024 * 1024, streaming_fraction=0.90),
+    ),
+    "su2cor": _fp_profile(
+        "su2cor",
+        seed=206,
+        branch_fraction=0.06,
+        fp_alu_fraction=0.22,
+        fp_mul_fraction=0.18,
+        dependency_locality=0.20,
+        memory=MemoryProfile(working_set_bytes=2 * 1024 * 1024, streaming_fraction=0.70),
+    ),
+    "swim": _fp_profile(
+        "swim",
+        seed=207,
+        branch_fraction=0.02,
+        load_fraction=0.32,
+        store_fraction=0.12,
+        fp_alu_fraction=0.26,
+        fp_mul_fraction=0.18,
+        dependency_locality=0.18,
+        memory=MemoryProfile(working_set_bytes=8 * 1024 * 1024, streaming_fraction=0.95),
+    ),
+    "tomcatv": _fp_profile(
+        "tomcatv",
+        seed=208,
+        branch_fraction=0.03,
+        load_fraction=0.30,
+        store_fraction=0.10,
+        fp_alu_fraction=0.26,
+        fp_mul_fraction=0.20,
+        fp_div_fraction=0.015,
+        dependency_locality=0.18,
+        memory=MemoryProfile(working_set_bytes=4 * 1024 * 1024, streaming_fraction=0.90),
+    ),
+    "turb3d": _fp_profile(
+        "turb3d",
+        seed=209,
+        branch_fraction=0.06,
+        fp_alu_fraction=0.20,
+        fp_mul_fraction=0.18,
+        dependency_locality=0.22,
+        memory=MemoryProfile(working_set_bytes=1024 * 1024, streaming_fraction=0.75),
+    ),
+    "wave5": _fp_profile(
+        "wave5",
+        seed=210,
+        branch_fraction=0.05,
+        load_fraction=0.30,
+        store_fraction=0.12,
+        fp_alu_fraction=0.22,
+        fp_mul_fraction=0.16,
+        dependency_locality=0.16,
+        long_range_fraction=0.14,
+        memory=MemoryProfile(working_set_bytes=3 * 1024 * 1024, streaming_fraction=0.80),
+    ),
+}
+
+
+_ALL_PROFILES: dict[str, BenchmarkProfile] = {**_SPECINT_PROFILES, **_SPECFP_PROFILES}
+
+
+def get_profile(name: str) -> BenchmarkProfile:
+    """Return the profile of a SPEC95 benchmark by name.
+
+    Raises
+    ------
+    WorkloadError
+        If ``name`` is not one of the 18 SPEC95 benchmarks.
+    """
+    try:
+        return _ALL_PROFILES[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; expected one of {sorted(_ALL_PROFILES)}"
+        ) from exc
+
+
+def all_profiles() -> dict[str, BenchmarkProfile]:
+    """Return a copy of the full name → profile mapping (18 benchmarks)."""
+    return dict(_ALL_PROFILES)

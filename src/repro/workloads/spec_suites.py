@@ -1,0 +1,57 @@
+"""SPEC95 suite definitions used throughout the experiments.
+
+The paper reports per-benchmark results for the 8 SpecInt95 and the 10
+SpecFP95 programs, plus harmonic means per suite.  These tuples fix the
+ordering used in every figure so our tables line up with the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+
+#: SpecInt95 benchmarks in the order the paper plots them.
+SPECINT95: tuple[str, ...] = (
+    "compress",
+    "gcc",
+    "go",
+    "ijpeg",
+    "li",
+    "m88ksim",
+    "perl",
+    "vortex",
+)
+
+#: SpecFP95 benchmarks in the order the paper plots them.
+SPECFP95: tuple[str, ...] = (
+    "applu",
+    "apsi",
+    "fpppp",
+    "hydro2d",
+    "mgrid",
+    "su2cor",
+    "swim",
+    "tomcatv",
+    "turb3d",
+    "wave5",
+)
+
+#: The complete SPEC95 suite (18 programs).
+SPEC95: tuple[str, ...] = SPECINT95 + SPECFP95
+
+
+def suite_for(benchmark: str) -> str:
+    """Return ``"int"`` or ``"fp"`` for a benchmark name."""
+    if benchmark in SPECINT95:
+        return "int"
+    if benchmark in SPECFP95:
+        return "fp"
+    raise WorkloadError(f"unknown benchmark {benchmark!r}")
+
+
+def suite_members(suite: str) -> tuple[str, ...]:
+    """Return the benchmark names belonging to ``suite`` ("int" or "fp")."""
+    if suite == "int":
+        return SPECINT95
+    if suite == "fp":
+        return SPECFP95
+    raise WorkloadError(f"unknown suite {suite!r}; expected 'int' or 'fp'")

@@ -1,0 +1,97 @@
+"""In-memory traces of dynamic instructions.
+
+A :class:`Trace` is simply a materialized list of dynamic instructions
+with convenience statistics.  Materializing a workload once and replaying
+it against several register-file architectures guarantees that every
+architecture sees *exactly* the same instruction stream, which is how the
+paper's comparisons are set up.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.opcodes import OpClass
+
+
+@dataclass
+class Trace:
+    """A materialized dynamic instruction stream."""
+
+    name: str
+    instructions: Sequence[DynamicInstruction]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[DynamicInstruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> DynamicInstruction:
+        return self.instructions[index]
+
+    # ------------------------------------------------------------------
+    # summary statistics
+    # ------------------------------------------------------------------
+
+    def mix(self) -> dict[OpClass, float]:
+        """Return the realized instruction mix as fractions."""
+        counts = Counter(inst.op_class for inst in self.instructions)
+        total = max(1, len(self.instructions))
+        return {cls: counts.get(cls, 0) / total for cls in OpClass if counts.get(cls, 0)}
+
+    def branch_count(self) -> int:
+        return sum(1 for inst in self.instructions if inst.is_branch)
+
+    def taken_branch_fraction(self) -> float:
+        branches = [inst for inst in self.instructions if inst.is_branch]
+        if not branches:
+            return 0.0
+        return sum(1 for b in branches if b.branch_taken) / len(branches)
+
+    def memory_reference_count(self) -> int:
+        return sum(1 for inst in self.instructions if inst.op_class.is_memory)
+
+    def register_write_count(self) -> int:
+        return sum(1 for inst in self.instructions if inst.dest is not None)
+
+    def value_read_counts(self) -> Counter:
+        """Count, for each produced value, how many times it is read.
+
+        Returns a ``Counter`` mapping read-count → number of values.  A
+        value is identified by (producer seq); a read is a later
+        instruction sourcing the same logical register before it is
+        overwritten.  This reproduces the paper's §3 statistic that most
+        values are read at most once.
+        """
+        last_writer: dict = {}
+        reads: Counter = Counter()
+        producers: list[int] = []
+        for inst in self.instructions:
+            for src in inst.sources:
+                writer = last_writer.get(src)
+                if writer is not None:
+                    reads[writer] += 1
+            if inst.dest is not None:
+                last_writer[inst.dest] = inst.seq
+                producers.append(inst.seq)
+        distribution: Counter = Counter()
+        for producer in producers:
+            distribution[reads.get(producer, 0)] += 1
+        return distribution
+
+    def read_at_most_once_fraction(self) -> float:
+        """Fraction of produced values read zero or one times."""
+        distribution = self.value_read_counts()
+        total = sum(distribution.values())
+        if total == 0:
+            return 1.0
+        return (distribution.get(0, 0) + distribution.get(1, 0)) / total
+
+
+def materialize(name: str, stream: Iterable[DynamicInstruction]) -> Trace:
+    """Materialize ``stream`` into a :class:`Trace` named ``name``."""
+    return Trace(name=name, instructions=list(stream))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+Simulation-based tests use small instruction counts so the whole suite
+stays fast; the fixtures centralize those budgets.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package (e.g. straight
+# from a source checkout): put src/ on the path if the import fails.
+try:  # pragma: no cover - exercised only in non-installed environments
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import ProcessorConfig, SyntheticWorkload, get_profile
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ProcessorConfig:
+    """A processor configuration with a small instruction budget."""
+    return ProcessorConfig(max_instructions=1200)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> ProcessorConfig:
+    """An even smaller budget for tests that run many simulations."""
+    return ProcessorConfig(max_instructions=500)
+
+
+@pytest.fixture(scope="session")
+def gcc_workload() -> SyntheticWorkload:
+    return SyntheticWorkload(get_profile("gcc"))
+
+
+@pytest.fixture(scope="session")
+def swim_workload() -> SyntheticWorkload:
+    return SyntheticWorkload(get_profile("swim"))
+
+
+def make_stream(name: str, count: int):
+    """Convenience: a fresh dynamic instruction stream for a benchmark."""
+    return SyntheticWorkload(get_profile(name)).instructions(count)

@@ -1,0 +1,108 @@
+"""Unit tests for the analysis helpers (metrics, distributions, tables)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.distributions import (
+    average_cdfs,
+    cumulative_distribution,
+    percentile_from_cdf,
+)
+from repro.analysis.metrics import (
+    geometric_mean,
+    harmonic_mean,
+    instruction_throughput,
+    percent_change,
+    relative_series,
+    speedup,
+)
+from repro.analysis.tables import format_figure, format_series, format_table
+from repro.errors import ModelError
+
+
+class TestMetrics:
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+        assert harmonic_mean([4.0]) == 4.0
+
+    def test_harmonic_mean_dominated_by_small_values(self):
+        assert harmonic_mean([0.1, 10.0]) < 0.25
+
+    def test_harmonic_mean_validation(self):
+        with pytest.raises(ModelError):
+            harmonic_mean([])
+        with pytest.raises(ModelError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ModelError):
+            geometric_mean([])
+
+    def test_speedup_and_percent_change(self):
+        assert speedup(3.0, 2.0) == pytest.approx(1.5)
+        assert percent_change(3.0, 2.0) == pytest.approx(50.0)
+        assert percent_change(1.8, 2.0) == pytest.approx(-10.0)
+        with pytest.raises(ModelError):
+            speedup(1.0, 0.0)
+
+    def test_relative_series_mapping_and_sequence(self):
+        assert relative_series({"a": 2.0, "b": 4.0}, 2.0) == {"a": 1.0, "b": 2.0}
+        assert relative_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ModelError):
+            relative_series([1.0], 0.0)
+
+    def test_instruction_throughput(self):
+        assert instruction_throughput(2.0, 4.0) == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            instruction_throughput(2.0, 0.0)
+
+
+class TestDistributions:
+    def test_cumulative_distribution(self):
+        counts = Counter({0: 1, 2: 1})
+        cdf = cumulative_distribution(counts, max_value=3)
+        assert cdf == [50.0, 50.0, 100.0, 100.0]
+
+    def test_overflow_folded_into_last_bucket(self):
+        counts = Counter({10: 1})
+        cdf = cumulative_distribution(counts, max_value=2)
+        assert cdf == [0.0, 0.0, 100.0]
+
+    def test_empty_distribution(self):
+        assert cumulative_distribution(Counter(), 2) == [100.0, 100.0, 100.0]
+
+    def test_average_cdfs(self):
+        assert average_cdfs([[0.0, 100.0], [100.0, 100.0]]) == [50.0, 100.0]
+        with pytest.raises(ModelError):
+            average_cdfs([])
+        with pytest.raises(ModelError):
+            average_cdfs([[1.0], [1.0, 2.0]])
+
+    def test_percentile_from_cdf(self):
+        cdf = [10.0, 50.0, 90.0, 100.0]
+        assert percentile_from_cdf(cdf, 50) == 1
+        assert percentile_from_cdf(cdf, 90) == 2
+        assert percentile_from_cdf(cdf, 99) == 3
+        with pytest.raises(ModelError):
+            percentile_from_cdf(cdf, 0)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"), [("a", 1.0), ("bbb", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series({"s1": {"x": 1.0, "y": 2.0}, "s2": {"x": 3.0}})
+        assert "s1" in text and "s2" in text
+        assert "-" in text.splitlines()[-1]   # missing y value for s2
+
+    def test_format_figure(self):
+        text = format_figure([1, 2], {"a": [0.5, 0.6], "b": [0.7]})
+        assert "0.500" in text and "0.700" in text

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.analysis.charts import horizontal_bar_chart, series_chart, sparkline
+from repro.errors import ModelError
+
+
+class TestHorizontalBarChart:
+    def test_largest_value_fills_the_width(self):
+        chart = horizontal_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_title_is_first_line(self):
+        chart = horizontal_bar_chart({"a": 1.0}, title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_values_are_printed(self):
+        chart = horizontal_bar_chart({"x": 1.234}, value_format="{:.2f}")
+        assert "1.23" in chart
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ModelError):
+            horizontal_bar_chart({})
+
+    def test_non_positive_maximum_rejected(self):
+        with pytest.raises(ModelError):
+            horizontal_bar_chart({"a": 0.0})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ModelError):
+            horizontal_bar_chart({"a": 1.0}, width=0)
+
+    def test_labels_aligned(self):
+        chart = horizontal_bar_chart({"a": 1.0, "longer": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▌▌▌"
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] < line[-1]
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ModelError):
+            sparkline([])
+
+
+class TestSeriesChart:
+    def test_contains_every_series_name(self):
+        chart = series_chart(["a", "b"], {"s1": [1.0, 2.0], "s2": [2.0, 1.0]})
+        assert "s1" in chart and "s2" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            series_chart(["a"], {"s1": [1.0, 2.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ModelError):
+            series_chart(["a"], {})

@@ -1,0 +1,192 @@
+"""Unit tests for functional units, ROB, scoreboard and bypass model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.execute.bypass import BypassNetwork
+from repro.execute.functional_units import FunctionalUnitConfig, FunctionalUnitPool
+from repro.execute.rob import ReorderBuffer
+from repro.execute.scoreboard import ValueScoreboard, ValueState
+from repro.isa.instruction import DynamicInstruction, INT_LOGICAL_REGISTERS, RegisterClass
+from repro.isa.opcodes import OpClass
+from repro.rename.renamer import PhysicalRegister, RenamedInstruction
+
+
+def _renamed(seq, dest_index=None):
+    inst = DynamicInstruction(seq=seq, op_class=OpClass.INT_ALU,
+                              dest=INT_LOGICAL_REGISTERS[1])
+    dest = PhysicalRegister(RegisterClass.INT, dest_index) if dest_index is not None else None
+    return RenamedInstruction(instruction=inst, dest=dest)
+
+
+class TestFunctionalUnits:
+    def test_table1_defaults(self):
+        config = FunctionalUnitConfig()
+        assert (config.simple_int, config.int_mul_div, config.simple_fp,
+                config.fp_div, config.load_store) == (6, 3, 4, 2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalUnitConfig(simple_int=0)
+
+    def test_issue_limit_per_cycle(self):
+        pool = FunctionalUnitPool(FunctionalUnitConfig(simple_int=2))
+        pool.begin_cycle(0)
+        pool.issue(OpClass.INT_ALU, 0, 1)
+        pool.issue(OpClass.INT_ALU, 0, 1)
+        assert not pool.can_issue(OpClass.INT_ALU, 0)
+        with pytest.raises(ConfigurationError):
+            pool.issue(OpClass.INT_ALU, 0, 1)
+
+    def test_pipelined_units_free_next_cycle(self):
+        pool = FunctionalUnitPool(FunctionalUnitConfig(simple_fp=1))
+        pool.begin_cycle(0)
+        pool.issue(OpClass.FP_MUL, 0, 2)
+        pool.begin_cycle(1)
+        assert pool.can_issue(OpClass.FP_MUL, 1)
+
+    def test_divider_busy_for_full_latency(self):
+        pool = FunctionalUnitPool(FunctionalUnitConfig(fp_div=1))
+        pool.begin_cycle(0)
+        pool.issue(OpClass.FP_DIV, 0, 14)
+        pool.begin_cycle(5)
+        assert not pool.can_issue(OpClass.FP_DIV, 5)
+        pool.begin_cycle(14)
+        assert pool.can_issue(OpClass.FP_DIV, 14)
+
+    def test_branches_use_simple_int_units(self):
+        assert FunctionalUnitPool.group_for(OpClass.BRANCH) == "simple_int"
+
+    def test_utilization(self):
+        pool = FunctionalUnitPool()
+        pool.begin_cycle(0)
+        pool.issue(OpClass.INT_ALU, 0, 1)
+        utilization = pool.utilization(total_cycles=10)
+        assert 0 < utilization["simple_int"] <= 1
+
+
+class TestReorderBuffer:
+    def test_dispatch_commit_in_order(self):
+        rob = ReorderBuffer(capacity=4)
+        rob.dispatch(_renamed(0), 0)
+        rob.dispatch(_renamed(1), 0)
+        rob.mark_completed(0, 3)
+        rob.mark_completed(1, 2)
+        ready = rob.committable(width=4, cycle=4)
+        assert [e.seq for e in ready] == [0, 1]
+        rob.commit(0)
+        with pytest.raises(SimulationError):
+            rob.commit(0)
+
+    def test_commit_blocked_by_incomplete_head(self):
+        rob = ReorderBuffer(capacity=4)
+        rob.dispatch(_renamed(0), 0)
+        rob.dispatch(_renamed(1), 0)
+        rob.mark_completed(1, 1)
+        assert rob.committable(width=4, cycle=5) == []
+
+    def test_commit_width_respected(self):
+        rob = ReorderBuffer(capacity=16)
+        for seq in range(10):
+            rob.dispatch(_renamed(seq), 0)
+            rob.mark_completed(seq, 1)
+        assert len(rob.committable(width=4, cycle=3)) == 4
+
+    def test_completion_cycle_gates_commit(self):
+        rob = ReorderBuffer(capacity=4)
+        rob.dispatch(_renamed(0), 0)
+        rob.mark_completed(0, 5)
+        assert rob.committable(width=1, cycle=5) == []
+        assert len(rob.committable(width=1, cycle=6)) == 1
+
+    def test_overflow(self):
+        rob = ReorderBuffer(capacity=1)
+        rob.dispatch(_renamed(0), 0)
+        assert rob.full
+        with pytest.raises(SimulationError):
+            rob.dispatch(_renamed(1), 0)
+
+    def test_program_order_enforced(self):
+        rob = ReorderBuffer(capacity=4)
+        rob.dispatch(_renamed(3), 0)
+        with pytest.raises(SimulationError):
+            rob.dispatch(_renamed(1), 0)
+
+    def test_out_of_order_commit_rejected(self):
+        rob = ReorderBuffer(capacity=4)
+        rob.dispatch(_renamed(0), 0)
+        rob.dispatch(_renamed(1), 0)
+        with pytest.raises(SimulationError):
+            rob.commit(1)
+
+
+class TestScoreboard:
+    def test_allocate_and_get(self):
+        scoreboard = ValueScoreboard()
+        register = PhysicalRegister(RegisterClass.INT, 40)
+        state = scoreboard.allocate(register, producer_seq=7)
+        assert isinstance(state, ValueState)
+        assert not state.produced
+        assert scoreboard.get(register) is state
+
+    def test_get_unknown_raises(self):
+        scoreboard = ValueScoreboard()
+        with pytest.raises(SimulationError):
+            scoreboard.get(PhysicalRegister(RegisterClass.INT, 1))
+
+    def test_architected_seed_is_available(self):
+        scoreboard = ValueScoreboard()
+        register = PhysicalRegister(RegisterClass.FP, 2)
+        scoreboard.seed_architected(register)
+        state = scoreboard.get(register)
+        assert state.produced and state.written_back and state.rf_ready_cycle == 0
+
+    def test_read_recording(self):
+        scoreboard = ValueScoreboard()
+        register = PhysicalRegister(RegisterClass.INT, 40)
+        scoreboard.allocate(register, 0)
+        scoreboard.record_read(register, "bypass")
+        scoreboard.record_read(register, "upper")
+        state = scoreboard.get(register)
+        assert state.consumed_via_bypass
+        assert state.reads_from_bypass == 1 and state.reads_from_upper == 1
+        with pytest.raises(SimulationError):
+            scoreboard.record_read(register, "sideways")
+
+    def test_release(self):
+        scoreboard = ValueScoreboard()
+        register = PhysicalRegister(RegisterClass.INT, 40)
+        scoreboard.allocate(register, 0)
+        scoreboard.release(register)
+        assert not scoreboard.contains(register)
+
+
+class TestBypassNetwork:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BypassNetwork(read_stages=0, bypass_levels=0)
+        with pytest.raises(ConfigurationError):
+            BypassNetwork(read_stages=1, bypass_levels=2)
+
+    def test_full_bypass_back_to_back(self):
+        bypass = BypassNetwork(read_stages=2, bypass_levels=2)
+        assert bypass.earliest_consumer_execute(producer_ex_end=10) == 11
+        assert bypass.timing.extra_consumer_latency == 0
+
+    def test_missing_level_adds_latency(self):
+        bypass = BypassNetwork(read_stages=2, bypass_levels=1)
+        assert bypass.earliest_consumer_execute(producer_ex_end=10) == 12
+        assert bypass.timing.extra_consumer_latency == 1
+
+    def test_served_by_bypass_vs_regfile(self):
+        bypass = BypassNetwork(read_stages=1, bypass_levels=1)
+        # Value written to the register file at cycle 12.
+        assert bypass.served_by_bypass(10, rf_ready_cycle=12, consumer_ex_start=11)
+        assert not bypass.served_by_bypass(10, rf_ready_cycle=12, consumer_ex_start=14)
+        assert bypass.served_by_bypass(10, rf_ready_cycle=None, consumer_ex_start=20)
+
+    def test_statistics(self):
+        bypass = BypassNetwork(1, 1)
+        bypass.record_bypass_read()
+        bypass.record_regfile_read()
+        assert bypass.bypass_fraction == 0.5

@@ -1,0 +1,94 @@
+"""Unit tests for repro.isa.instruction."""
+
+import pytest
+
+from repro.isa.instruction import (
+    DynamicInstruction,
+    FP_LOGICAL_REGISTERS,
+    INT_LOGICAL_REGISTERS,
+    LogicalRegister,
+    RegisterClass,
+    StaticInstruction,
+)
+from repro.isa.opcodes import OPCODES, OpClass
+
+
+class TestLogicalRegister:
+    def test_register_pools_have_32_entries(self):
+        assert len(INT_LOGICAL_REGISTERS) == 32
+        assert len(FP_LOGICAL_REGISTERS) == 32
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalRegister(RegisterClass.INT, 32)
+        with pytest.raises(ValueError):
+            LogicalRegister(RegisterClass.FP, -1)
+
+    def test_str_representation(self):
+        assert str(LogicalRegister(RegisterClass.INT, 5)) == "r5"
+        assert str(LogicalRegister(RegisterClass.FP, 7)) == "f7"
+
+    def test_equality_and_hash(self):
+        a = LogicalRegister(RegisterClass.INT, 3)
+        b = LogicalRegister(RegisterClass.INT, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != LogicalRegister(RegisterClass.FP, 3)
+
+
+class TestStaticInstruction:
+    def test_requires_destination_when_opcode_has_one(self):
+        with pytest.raises(ValueError):
+            StaticInstruction(opcode=OPCODES["add"], dest=None,
+                              sources=(INT_LOGICAL_REGISTERS[1], INT_LOGICAL_REGISTERS[2]))
+
+    def test_rejects_destination_when_opcode_has_none(self):
+        with pytest.raises(ValueError):
+            StaticInstruction(opcode=OPCODES["sw"], dest=INT_LOGICAL_REGISTERS[1],
+                              sources=(INT_LOGICAL_REGISTERS[1], INT_LOGICAL_REGISTERS[2]))
+
+    def test_source_count_must_match_opcode(self):
+        with pytest.raises(ValueError):
+            StaticInstruction(opcode=OPCODES["add"], dest=INT_LOGICAL_REGISTERS[1],
+                              sources=(INT_LOGICAL_REGISTERS[2],))
+
+    def test_str_contains_mnemonic(self):
+        inst = StaticInstruction(opcode=OPCODES["add"], dest=INT_LOGICAL_REGISTERS[1],
+                                 sources=(INT_LOGICAL_REGISTERS[2], INT_LOGICAL_REGISTERS[3]))
+        assert "add" in str(inst)
+
+
+class TestDynamicInstruction:
+    def test_default_latency_from_class(self):
+        inst = DynamicInstruction(seq=0, op_class=OpClass.FP_ALU,
+                                  dest=FP_LOGICAL_REGISTERS[1])
+        assert inst.latency == 2
+
+    def test_branch_flag_set_from_class(self):
+        inst = DynamicInstruction(seq=0, op_class=OpClass.BRANCH, branch_taken=True)
+        assert inst.is_branch
+
+    def test_memory_instruction_gets_default_address(self):
+        inst = DynamicInstruction(seq=0, op_class=OpClass.LOAD,
+                                  dest=INT_LOGICAL_REGISTERS[1],
+                                  sources=(INT_LOGICAL_REGISTERS[2],))
+        assert inst.mem_address == 0
+        assert inst.is_load and not inst.is_store
+
+    def test_next_pc_taken_branch(self):
+        inst = DynamicInstruction(seq=0, op_class=OpClass.BRANCH, pc=0x1000,
+                                  branch_taken=True, branch_target=0x2000)
+        assert inst.next_pc == 0x2000
+
+    def test_next_pc_not_taken_branch(self):
+        inst = DynamicInstruction(seq=0, op_class=OpClass.BRANCH, pc=0x1000,
+                                  branch_taken=False, branch_target=0x2000)
+        assert inst.next_pc == 0x1004
+
+    def test_writes_register_property(self):
+        store = DynamicInstruction(seq=0, op_class=OpClass.STORE,
+                                   sources=(INT_LOGICAL_REGISTERS[1], INT_LOGICAL_REGISTERS[2]))
+        assert not store.writes_register
+        alu = DynamicInstruction(seq=1, op_class=OpClass.INT_ALU,
+                                 dest=INT_LOGICAL_REGISTERS[3])
+        assert alu.writes_register

@@ -1,0 +1,84 @@
+"""Unit tests for repro.isa.opcodes."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OPCODES,
+    DEFAULT_LATENCIES,
+    OpClass,
+    Opcode,
+    default_latency,
+    opcode_by_mnemonic,
+)
+
+
+class TestOpClass:
+    def test_memory_classes(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+
+    def test_branch_class(self):
+        assert OpClass.BRANCH.is_branch
+        assert not OpClass.LOAD.is_branch
+
+    def test_fp_classes(self):
+        assert OpClass.FP_ALU.is_fp
+        assert OpClass.FP_MUL.is_fp
+        assert OpClass.FP_DIV.is_fp
+        assert not OpClass.INT_MUL.is_fp
+
+    def test_writes_register(self):
+        assert OpClass.INT_ALU.writes_register
+        assert OpClass.LOAD.writes_register
+        assert not OpClass.STORE.writes_register
+        assert not OpClass.BRANCH.writes_register
+        assert not OpClass.NOP.writes_register
+
+
+class TestLatencies:
+    def test_every_class_has_a_latency(self):
+        for op_class in OpClass:
+            assert default_latency(op_class) >= 1
+
+    def test_table1_latencies(self):
+        """Latencies follow Table 1 of the paper."""
+        assert default_latency(OpClass.INT_ALU) == 1
+        assert default_latency(OpClass.INT_MUL) == 2
+        assert default_latency(OpClass.INT_DIV) == 14
+        assert default_latency(OpClass.FP_ALU) == 2
+        assert default_latency(OpClass.FP_DIV) == 14
+
+    def test_latency_table_is_complete(self):
+        assert set(DEFAULT_LATENCIES) == set(OpClass)
+
+
+class TestOpcodes:
+    def test_lookup_by_mnemonic(self):
+        add = opcode_by_mnemonic("add")
+        assert add.op_class is OpClass.INT_ALU
+        assert add.num_sources == 2
+        assert add.has_dest
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            opcode_by_mnemonic("frobnicate")
+
+    def test_store_has_no_destination(self):
+        assert not OPCODES["sw"].has_dest
+        assert OPCODES["sw"].num_sources == 2
+
+    def test_load_has_one_source(self):
+        assert OPCODES["lw"].num_sources == 1
+        assert OPCODES["lw"].has_dest
+
+    def test_branches_have_no_destination(self):
+        for mnemonic in ("beq", "bne", "blt", "bge", "jmp"):
+            assert not OPCODES[mnemonic].has_dest
+
+    def test_invalid_source_count_rejected(self):
+        with pytest.raises(ValueError):
+            Opcode("bogus", OpClass.INT_ALU, num_sources=3)
+
+    def test_mnemonics_are_unique_keys(self):
+        assert len(OPCODES) == len({op.mnemonic for op in OPCODES.values()})

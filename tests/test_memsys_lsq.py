@@ -1,0 +1,101 @@
+"""Unit tests for the load/store queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memsys.lsq import LoadStoreQueue
+
+
+class TestLSQBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadStoreQueue(capacity=0)
+
+    def test_insert_and_full(self):
+        lsq = LoadStoreQueue(capacity=2)
+        lsq.insert(0, is_store=False)
+        lsq.insert(1, is_store=True)
+        assert lsq.full
+        with pytest.raises(SimulationError):
+            lsq.insert(2, is_store=False)
+
+    def test_program_order_enforced(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(5, is_store=False)
+        with pytest.raises(SimulationError):
+            lsq.insert(3, is_store=True)
+
+    def test_release_and_occupancy(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=True)
+        lsq.insert(1, is_store=False)
+        assert lsq.occupancy() == 2
+        lsq.release(0)
+        assert lsq.occupancy() == 1
+        lsq.release(12345)   # unknown seq is a no-op
+        assert lsq.occupancy() == 1
+
+
+class TestOrderingRules:
+    def test_load_blocked_by_unknown_store_address(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=True)
+        lsq.insert(1, is_store=False)
+        assert not lsq.load_may_issue(1)
+        lsq.set_address(0, 0x100)
+        assert lsq.load_may_issue(1)
+
+    def test_load_not_blocked_by_younger_store(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=False)
+        lsq.insert(1, is_store=True)
+        assert lsq.load_may_issue(0)
+
+    def test_set_address_unknown_entry(self):
+        lsq = LoadStoreQueue()
+        with pytest.raises(SimulationError):
+            lsq.set_address(7, 0x100)
+
+
+class TestForwarding:
+    def test_forwarding_from_matching_store(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=True)
+        lsq.set_address(0, 0x200)
+        lsq.insert(1, is_store=False)
+        assert lsq.forwarding_store(1, 0x200) == 0
+        assert lsq.forwarded_loads == 1
+
+    def test_no_forwarding_from_different_address(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=True)
+        lsq.set_address(0, 0x200)
+        lsq.insert(1, is_store=False)
+        assert lsq.forwarding_store(1, 0x300) is None
+
+    def test_youngest_older_store_wins(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=True)
+        lsq.set_address(0, 0x200)
+        lsq.insert(1, is_store=True)
+        lsq.set_address(1, 0x200)
+        lsq.insert(2, is_store=False)
+        assert lsq.forwarding_store(2, 0x200) == 1
+
+    def test_no_forwarding_from_younger_store(self):
+        lsq = LoadStoreQueue()
+        lsq.insert(0, is_store=False)
+        lsq.insert(1, is_store=True)
+        lsq.set_address(1, 0x200)
+        assert lsq.forwarding_store(0, 0x200) is None
+
+
+class TestFlush:
+    def test_flush_after_drops_younger_entries(self):
+        lsq = LoadStoreQueue()
+        for seq in range(4):
+            lsq.insert(seq, is_store=seq % 2 == 0)
+        lsq.flush_after(1)
+        assert lsq.occupancy() == 2
+        lsq.clear()
+        assert lsq.occupancy() == 0

@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distributions import cumulative_distribution
+from repro.analysis.metrics import harmonic_mean
+from repro.frontend.gshare import GSharePredictor
+from repro.hwmodel.access_time import access_time_ns
+from repro.hwmodel.area import RegisterFileGeometry
+from repro.hwmodel.pareto import DesignPoint, pareto_frontier
+from repro.memsys.cache import CacheConfig, CacheModel
+from repro.regfile.ports import WriteScheduler
+from repro.regfile.replacement import PseudoLRU
+from repro.rename.free_list import FreeList
+
+
+# ----------------------------------------------------------------------
+# free list
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.booleans(), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_free_list_never_duplicates_allocations(operations):
+    """Alternating allocate/release never hands out the same register twice."""
+    free = FreeList(range(8))
+    allocated = []
+    for do_allocate in operations:
+        if do_allocate and not free.empty:
+            register = free.allocate()
+            assert register not in allocated
+            allocated.append(register)
+        elif allocated:
+            free.release(allocated.pop())
+    assert len(allocated) + len(free) == 8
+
+
+# ----------------------------------------------------------------------
+# pseudo-LRU
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=300),
+       st.sampled_from([2, 4, 8, 16]))
+@settings(max_examples=50, deadline=None)
+def test_pseudo_lru_never_exceeds_capacity(keys, capacity):
+    lru = PseudoLRU(capacity)
+    resident = set()
+    for key in keys:
+        evicted = lru.insert(key)
+        resident.add(key)
+        if evicted is not None:
+            assert evicted in resident
+            resident.discard(evicted)
+        assert len(lru) == len(resident) <= capacity
+        assert set(lru.keys()) == resident
+
+
+@given(st.sampled_from([2, 4, 8, 16]))
+@settings(max_examples=20, deadline=None)
+def test_pseudo_lru_recently_touched_survives(capacity):
+    """The most recently touched entry is never the next victim."""
+    lru = PseudoLRU(capacity)
+    for key in range(capacity):
+        lru.insert(key)
+    lru.touch(0)
+    evicted = lru.insert(capacity)
+    assert evicted != 0
+
+
+# ----------------------------------------------------------------------
+# write scheduler
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_write_scheduler_never_exceeds_ports_per_cycle(requests, ports):
+    scheduler = WriteScheduler(ports)
+    scheduled = Counter()
+    for requested in requests:
+        actual = scheduler.schedule(requested)
+        assert actual >= requested
+        scheduled[actual] += 1
+    assert max(scheduled.values()) <= ports
+
+
+# ----------------------------------------------------------------------
+# cache model
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_cache_immediate_reaccess_always_hits(addresses):
+    cache = CacheModel(CacheConfig(size_bytes=4096, associativity=2, line_bytes=64))
+    for address in addresses:
+        cache.access(address)
+        assert cache.access(address).hit
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_cache_hits_plus_misses_equals_accesses(addresses):
+    cache = CacheModel(CacheConfig())
+    for address in addresses:
+        cache.access(address)
+    assert cache.hits + cache.misses == len(addresses)
+
+
+# ----------------------------------------------------------------------
+# gshare
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 20), st.booleans()),
+                min_size=1, max_size=300))
+@settings(max_examples=30, deadline=None)
+def test_gshare_statistics_are_consistent(branches):
+    predictor = GSharePredictor(num_entries=1024)
+    for pc, taken in branches:
+        predicted, checkpoint = predictor.predict(pc)
+        predictor.update(pc, taken, checkpoint, predicted)
+    assert predictor.predictions == len(branches)
+    assert 0 <= predictor.mispredictions <= predictor.predictions
+    assert 0.0 <= predictor.accuracy <= 1.0
+
+
+# ----------------------------------------------------------------------
+# analytical models
+# ----------------------------------------------------------------------
+
+@given(st.integers(min_value=8, max_value=512),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=50, deadline=None)
+def test_hw_models_are_positive_and_monotonic_in_ports(registers, reads, writes):
+    area = RegisterFileGeometry(registers, reads, writes).area_lambda2()
+    bigger = RegisterFileGeometry(registers, reads + 1, writes).area_lambda2()
+    assert 0 < area < bigger
+    assert access_time_ns(registers, reads, writes) > 0
+    assert access_time_ns(registers, reads + 4, writes) > access_time_ns(
+        registers, reads, writes)
+
+
+# ----------------------------------------------------------------------
+# pareto frontier
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(min_value=1, max_value=1000),
+                          st.floats(min_value=0.01, max_value=10)),
+                min_size=1, max_size=80))
+@settings(max_examples=50, deadline=None)
+def test_pareto_frontier_is_sound(points_data):
+    points = [DesignPoint(cost=c, value=v) for c, v in points_data]
+    frontier = pareto_frontier(points)
+    assert frontier, "frontier of a non-empty set is non-empty"
+    # No frontier point is dominated by any original point.
+    for point in frontier:
+        for other in points:
+            strictly_better = (other.cost <= point.cost and other.value > point.value) or (
+                other.cost < point.cost and other.value >= point.value)
+            assert not strictly_better
+    # The frontier is sorted by cost and strictly increasing in value.
+    costs = [p.cost for p in frontier]
+    values = [p.value for p in frontier]
+    assert costs == sorted(costs)
+    assert all(b > a for a, b in zip(values, values[1:]))
+
+
+# ----------------------------------------------------------------------
+# metrics / distributions
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_harmonic_mean_bounded_by_min_and_max(values):
+    mean = harmonic_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+@given(st.dictionaries(st.integers(min_value=0, max_value=64),
+                       st.integers(min_value=1, max_value=50), max_size=20),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=50, deadline=None)
+def test_cumulative_distribution_is_monotone_and_ends_at_100(counts, max_value):
+    cdf = cumulative_distribution(Counter(counts), max_value)
+    assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+    assert cdf[-1] == 100.0 or not counts

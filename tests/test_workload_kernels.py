@@ -1,0 +1,73 @@
+"""Unit tests for the hand-written ISA kernels."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.kernels import (
+    KERNELS,
+    dot_product_program,
+    hash_lookup_program,
+    kernel_workload,
+    linked_list_walk_program,
+    matmul_program,
+    stencil_program,
+    vector_scale_program,
+)
+from repro.workloads.trace import materialize
+
+
+class TestKernelPrograms:
+    def test_registry_contains_all_kernels(self):
+        assert set(KERNELS) == {
+            "dot_product", "vector_scale", "linked_list_walk",
+            "stencil", "matmul", "hash_lookup",
+        }
+
+    def test_dot_product_dynamic_length(self):
+        dynamic = list(dot_product_program(length=16).run())
+        # 5 setup + 16 iterations of 8 instructions + final store
+        assert len(dynamic) == 5 + 16 * 8 + 1
+
+    def test_dot_product_has_fp_multiplies(self):
+        trace = materialize("dot", dot_product_program(length=8).run())
+        assert any(inst.op_class is OpClass.FP_MUL for inst in trace)
+
+    def test_vector_scale_stores_every_iteration(self):
+        trace = materialize("scale", vector_scale_program(length=10).run())
+        stores = [i for i in trace if i.op_class is OpClass.STORE]
+        assert len(stores) == 10
+
+    def test_linked_list_walk_loads(self):
+        trace = materialize("list", linked_list_walk_program(nodes=12).run())
+        loads = [i for i in trace if i.op_class is OpClass.LOAD]
+        assert len(loads) == 24  # two loads per node
+
+    def test_stencil_nested_loops(self):
+        trace = materialize("stencil", stencil_program(width=8, rows=3).run())
+        branches = [i for i in trace if i.is_branch]
+        assert len(branches) == 8 * 3 + 3
+
+    def test_matmul_instruction_count_scales(self):
+        small = len(list(matmul_program(size=2).run(max_instructions=100000)))
+        large = len(list(matmul_program(size=4).run(max_instructions=100000)))
+        assert large > small
+
+    def test_hash_lookup_has_data_dependent_branches(self):
+        trace = materialize("hash", hash_lookup_program(lookups=32).run())
+        conditional = [i for i in trace
+                       if i.is_branch and i.mnemonic in ("beq", "bne", "blt", "bge")]
+        taken = sum(i.branch_taken for i in conditional)
+        assert 0 < taken < len(conditional)
+
+    def test_kernel_workload_helper(self):
+        stream = list(kernel_workload("dot_product", max_instructions=50))
+        assert len(stream) == 50
+
+    def test_kernel_workload_unknown_name(self):
+        with pytest.raises(KeyError):
+            kernel_workload("fft")
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_all_kernels_terminate(self, name):
+        stream = list(kernel_workload(name, max_instructions=5000))
+        assert 0 < len(stream) <= 5000

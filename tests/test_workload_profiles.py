@@ -1,0 +1,109 @@
+"""Unit tests for the SPEC95-substitute benchmark profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.opcodes import OpClass
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    BranchProfile,
+    MemoryProfile,
+    all_profiles,
+    get_profile,
+)
+from repro.workloads.spec_suites import SPECFP95, SPECINT95, SPEC95, suite_for, suite_members
+
+
+class TestSuites:
+    def test_suite_sizes_match_spec95(self):
+        assert len(SPECINT95) == 8
+        assert len(SPECFP95) == 10
+        assert len(SPEC95) == 18
+
+    def test_suite_for(self):
+        assert suite_for("gcc") == "int"
+        assert suite_for("swim") == "fp"
+
+    def test_suite_for_unknown(self):
+        with pytest.raises(WorkloadError):
+            suite_for("doom")
+
+    def test_suite_members(self):
+        assert suite_members("int") == SPECINT95
+        assert suite_members("fp") == SPECFP95
+        with pytest.raises(WorkloadError):
+            suite_members("web")
+
+
+class TestProfiles:
+    def test_every_spec95_benchmark_has_a_profile(self):
+        profiles = all_profiles()
+        for name in SPEC95:
+            assert name in profiles
+
+    def test_profile_suites_are_consistent(self):
+        for name in SPECINT95:
+            assert get_profile(name).suite == "int"
+        for name in SPECFP95:
+            assert get_profile(name).suite == "fp"
+
+    def test_instruction_mixes_sum_to_one(self):
+        for profile in all_profiles().values():
+            assert sum(profile.instruction_mix.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_fp_profiles_contain_fp_operations(self):
+        for name in SPECFP95:
+            mix = get_profile(name).instruction_mix
+            fp_fraction = sum(frac for cls, frac in mix.items() if cls.is_fp)
+            assert fp_fraction > 0.2
+
+    def test_int_profiles_have_no_fp_operations(self):
+        for name in SPECINT95:
+            mix = get_profile(name).instruction_mix
+            assert all(not cls.is_fp for cls in mix)
+
+    def test_int_profiles_branch_heavier_than_fp(self):
+        int_branches = [get_profile(n).instruction_mix.get(OpClass.BRANCH, 0.0)
+                        for n in SPECINT95]
+        fp_branches = [get_profile(n).instruction_mix.get(OpClass.BRANCH, 0.0)
+                       for n in SPECFP95]
+        assert min(int_branches) > max(fp_branches) - 0.02
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(WorkloadError):
+            get_profile("quake")
+
+    def test_profiles_have_unique_seeds(self):
+        seeds = [p.seed for p in all_profiles().values()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestValidation:
+    def _base_mix(self):
+        return {OpClass.INT_ALU: 0.7, OpClass.LOAD: 0.2, OpClass.BRANCH: 0.1}
+
+    def test_bad_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(name="x", suite="media", instruction_mix=self._base_mix())
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(name="x", suite="int",
+                             instruction_mix={OpClass.INT_ALU: 0.5})
+
+    def test_read_fractions_must_not_exceed_one(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(name="x", suite="int", instruction_mix=self._base_mix(),
+                             read_once_fraction=0.9, read_twice_fraction=0.2,
+                             never_read_fraction=0.2)
+
+    def test_dependency_locality_bounds(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkProfile(name="x", suite="int", instruction_mix=self._base_mix(),
+                             dependency_locality=0.0)
+
+    def test_defaults_are_valid(self):
+        profile = BenchmarkProfile(name="x", suite="int", instruction_mix=self._base_mix())
+        assert not profile.is_fp
+        assert isinstance(profile.branches, BranchProfile)
+        assert isinstance(profile.memory, MemoryProfile)

@@ -1,0 +1,72 @@
+"""Unit tests for trace materialization and statistics."""
+
+from repro.isa.instruction import DynamicInstruction, INT_LOGICAL_REGISTERS
+from repro.isa.opcodes import OpClass
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import Trace, materialize
+
+
+def _alu(seq, dest, sources=()):
+    return DynamicInstruction(seq=seq, op_class=OpClass.INT_ALU,
+                              dest=INT_LOGICAL_REGISTERS[dest],
+                              sources=tuple(INT_LOGICAL_REGISTERS[s] for s in sources))
+
+
+class TestTrace:
+    def test_materialize_and_len(self):
+        trace = materialize("t", [_alu(0, 1), _alu(1, 2, (1,))])
+        assert len(trace) == 2
+        assert trace[0].seq == 0
+        assert list(iter(trace))[1].seq == 1
+
+    def test_mix_fractions(self):
+        trace = materialize("t", [_alu(0, 1), _alu(1, 2), DynamicInstruction(
+            seq=2, op_class=OpClass.BRANCH, branch_taken=True)])
+        mix = trace.mix()
+        assert mix[OpClass.INT_ALU] == 2 / 3
+        assert mix[OpClass.BRANCH] == 1 / 3
+
+    def test_branch_statistics(self):
+        instructions = [
+            DynamicInstruction(seq=0, op_class=OpClass.BRANCH, branch_taken=True),
+            DynamicInstruction(seq=1, op_class=OpClass.BRANCH, branch_taken=False),
+        ]
+        trace = Trace("b", instructions)
+        assert trace.branch_count() == 2
+        assert trace.taken_branch_fraction() == 0.5
+
+    def test_counts_on_empty_branchless_trace(self):
+        trace = materialize("t", [_alu(0, 1)])
+        assert trace.taken_branch_fraction() == 0.0
+        assert trace.memory_reference_count() == 0
+        assert trace.register_write_count() == 1
+
+    def test_value_read_counts(self):
+        # r1 written then read twice; r2 written and never read.
+        instructions = [
+            _alu(0, 1),
+            _alu(1, 2, (1,)),
+            _alu(2, 3, (1,)),
+        ]
+        trace = materialize("t", instructions)
+        distribution = trace.value_read_counts()
+        assert distribution[2] == 1   # the value in r1
+        assert distribution[0] == 2   # r2 and r3 never read
+
+    def test_read_at_most_once_fraction_bounds(self):
+        workload = SyntheticWorkload(get_profile("vortex"))
+        trace = materialize("vortex", workload.instructions(4000))
+        fraction = trace.read_at_most_once_fraction()
+        assert 0.0 < fraction <= 1.0
+
+    def test_overwrite_ends_value_lifetime(self):
+        # r1 written, overwritten, then read: the read belongs to the second value.
+        instructions = [
+            _alu(0, 1),
+            _alu(1, 1),
+            _alu(2, 2, (1,)),
+        ]
+        distribution = materialize("t", instructions).value_read_counts()
+        assert distribution[0] >= 1  # the first r1 value was never read
+        assert distribution[1] >= 1  # the second one was read once
