@@ -1,12 +1,21 @@
 """Experiment harness: one module per figure/table of the paper's evaluation.
 
-Every experiment module exposes a ``run(settings)`` function returning an
-:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
-method prints the same rows/series the paper reports.  The
-:mod:`repro.experiments.runner` module ties them together for the
+Every experiment module exposes two functions:
+
+* ``plan(settings)`` declares the simulation points the experiment needs
+  as :class:`~repro.experiments.scheduler.SimulationPoint` objects; the
+  scheduler deduplicates them across experiments and fans them out over
+  worker processes.
+* ``run(settings, cache=...)`` assembles an
+  :class:`~repro.experiments.common.ExperimentResult` (whose ``render()``
+  prints the same rows/series the paper reports) from cached results,
+  simulating in-process anything the plan missed.
+
+The :mod:`repro.experiments.runner` module ties them together for the
 command line::
 
     python -m repro.experiments.runner --experiment figure6 --instructions 8000
+    python -m repro.experiments.runner --experiment all --jobs 8 --cache-dir .simcache
 """
 
 from repro.experiments.common import (

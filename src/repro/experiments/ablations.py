@@ -24,12 +24,13 @@ from repro.analysis.tables import format_series
 from repro.experiments.common import (
     ExperimentResult,
     ExperimentSettings,
+    OneLevelBankedFactory,
     SimulationCache,
     one_cycle_factory,
     register_file_cache_factory,
     suite_harmonic_mean,
+    suite_points,
 )
-from repro.regfile.banked import OneLevelBankedRegisterFile
 
 #: Upper-level capacities swept by the capacity ablation.
 UPPER_CAPACITIES: Sequence[int] = (4, 8, 16, 32, 64)
@@ -43,9 +44,64 @@ BANK_COUNTS: Sequence[int] = (2, 4)
 
 def _suite_hmeans(cache: SimulationCache, factory, key: str) -> Dict[str, float]:
     return {
-        "SpecInt95": suite_harmonic_mean(cache.suite_ipcs("int", factory, key)),
-        "SpecFP95": suite_harmonic_mean(cache.suite_ipcs("fp", factory, key)),
+        label: suite_harmonic_mean(cache.suite_ipcs(suite, factory, key))
+        for suite, label in cache.settings.active_suite_labels()
     }
+
+
+def _rfc_baseline_arch() -> tuple:
+    return (register_file_cache_factory(), "rfc/non-bypass/prefetch-first-pair")
+
+
+def _capacity_arch(capacity: int) -> tuple:
+    return (register_file_cache_factory(upper_capacity=capacity),
+            f"rfc/cap{capacity}")
+
+
+def _policy_arch(policy: str) -> tuple:
+    return (register_file_cache_factory(caching=policy), f"rfc/policy/{policy}")
+
+
+def _bus_arch(buses: int) -> tuple:
+    return (register_file_cache_factory(buses=buses), f"rfc/buses{buses}")
+
+
+def _banked_arch(banks: int, read_ports_per_bank: int = 2,
+                 write_ports_per_bank: int = 2) -> tuple:
+    return (
+        OneLevelBankedFactory(
+            num_banks=banks,
+            read_ports_per_bank=read_ports_per_bank,
+            write_ports_per_bank=write_ports_per_bank,
+        ),
+        f"one-level/{banks}banks",
+    )
+
+
+def _swept_architectures(
+    capacities: Sequence[int] = UPPER_CAPACITIES,
+    policies: Sequence[str] = CACHING_POLICIES,
+    bus_counts: Sequence[int] = BUS_COUNTS,
+    bank_counts: Sequence[int] = BANK_COUNTS,
+) -> list:
+    """Every (factory, key) pair the four ablation sweeps evaluate."""
+    pairs: list = [
+        (one_cycle_factory(), "1-cycle"),
+        _rfc_baseline_arch(),
+    ]
+    pairs += [_capacity_arch(capacity) for capacity in capacities]
+    pairs += [_policy_arch(policy) for policy in policies]
+    pairs += [_bus_arch(buses) for buses in bus_counts]
+    pairs += [_banked_arch(banks) for banks in bank_counts]
+    return pairs
+
+
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points the ablation sweeps need (parallel scheduler)."""
+    points: list = []
+    for factory, key in _swept_architectures():
+        points += suite_points(settings, ("int", "fp"), factory, key)
+    return points
 
 
 def upper_capacity_sweep(
@@ -56,10 +112,11 @@ def upper_capacity_sweep(
     """IPC of the register file cache as the upper-level size varies."""
     settings = settings or ExperimentSettings()
     cache = cache or SimulationCache(settings)
-    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    series: Dict[str, Dict[str, float]] = {
+        label: {} for _suite, label in settings.active_suite_labels()
+    }
     for capacity in capacities:
-        factory = register_file_cache_factory(upper_capacity=capacity)
-        hmeans = _suite_hmeans(cache, factory, f"rfc/cap{capacity}")
+        hmeans = _suite_hmeans(cache, *_capacity_arch(capacity))
         for suite, value in hmeans.items():
             series[suite][f"{capacity} regs"] = value
     baseline = _suite_hmeans(cache, one_cycle_factory(), "1-cycle")
@@ -82,22 +139,11 @@ def caching_policy_sweep(
     """IPC of the register file cache under different caching policies."""
     settings = settings or ExperimentSettings()
     cache = cache or SimulationCache(settings)
-    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    series: Dict[str, Dict[str, float]] = {
+        label: {} for _suite, label in settings.active_suite_labels()
+    }
     for policy in policies:
-        factory = register_file_cache_factory(caching=policy)
-        # "always"/"never" are not supported by the helper's ready/non-bypass
-        # switch, so build those two variants directly.
-        if policy in ("always", "never"):
-            from repro.regfile.cache import RegisterFileCache
-            from repro.regfile.policies import caching_policy_by_name
-            from repro.regfile.prefetch import PrefetchFirstPair
-
-            def factory(policy_name: str = policy):
-                return RegisterFileCache(
-                    caching_policy=caching_policy_by_name(policy_name),
-                    fetch_policy=PrefetchFirstPair(),
-                )
-        hmeans = _suite_hmeans(cache, factory, f"rfc/policy/{policy}")
+        hmeans = _suite_hmeans(cache, *_policy_arch(policy))
         for suite, value in hmeans.items():
             series[suite][policy] = value
     body = format_series(series, title="Harmonic-mean IPC vs caching policy")
@@ -117,10 +163,11 @@ def bus_count_sweep(
     """IPC of the register file cache as inter-level bandwidth varies."""
     settings = settings or ExperimentSettings()
     cache = cache or SimulationCache(settings)
-    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    series: Dict[str, Dict[str, float]] = {
+        label: {} for _suite, label in settings.active_suite_labels()
+    }
     for buses in bus_counts:
-        factory = register_file_cache_factory(buses=buses)
-        hmeans = _suite_hmeans(cache, factory, f"rfc/buses{buses}")
+        hmeans = _suite_hmeans(cache, *_bus_arch(buses))
         for suite, value in hmeans.items():
             series[suite][f"{buses} buses"] = value
     body = format_series(series, title="Harmonic-mean IPC vs number of inter-level buses")
@@ -142,19 +189,16 @@ def one_level_banked_comparison(
     """The one-level multiple-banked organisation vs the register file cache."""
     settings = settings or ExperimentSettings()
     cache = cache or SimulationCache(settings)
-    series: Dict[str, Dict[str, float]] = {"SpecInt95": {}, "SpecFP95": {}}
+    series: Dict[str, Dict[str, float]] = {
+        label: {} for _suite, label in settings.active_suite_labels()
+    }
     for banks in bank_counts:
-        def factory(banks: int = banks) -> OneLevelBankedRegisterFile:
-            return OneLevelBankedRegisterFile(
-                num_banks=banks,
-                read_ports_per_bank=read_ports_per_bank,
-                write_ports_per_bank=write_ports_per_bank,
-            )
-        hmeans = _suite_hmeans(cache, factory, f"one-level/{banks}banks")
+        hmeans = _suite_hmeans(
+            cache, *_banked_arch(banks, read_ports_per_bank, write_ports_per_bank)
+        )
         for suite, value in hmeans.items():
             series[suite][f"one-level, {banks} banks"] = value
-    rfc = _suite_hmeans(cache, register_file_cache_factory(),
-                        "rfc/non-bypass/prefetch-first-pair")
+    rfc = _suite_hmeans(cache, *_rfc_baseline_arch())
     one_cycle = _suite_hmeans(cache, one_cycle_factory(), "1-cycle")
     for suite in series:
         series[suite]["register file cache"] = rfc[suite]

@@ -1,23 +1,30 @@
-"""Shared infrastructure for the experiment harness."""
+"""Shared infrastructure for the experiment harness.
+
+The register-file architecture factories defined here are **frozen
+dataclasses**, not lambdas: the parallel scheduler ships them to worker
+processes (they must pickle) and the persistent result store fingerprints
+their parameters (they must be introspectable).  Calling an instance
+builds a fresh register-file model, exactly like the old closures did.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.metrics import harmonic_mean
 from repro.errors import ConfigurationError
+from repro.experiments.scheduler import SimulationPoint, run_simulation_point
+from repro.experiments.store import ResultStore
 from repro.pipeline.config import ProcessorConfig
-from repro.pipeline.processor import simulate
 from repro.pipeline.stats import SimulationStats
+from repro.regfile.banked import OneLevelBankedRegisterFile
 from repro.regfile.base import RegisterFileModel, UNLIMITED
 from repro.regfile.cache import RegisterFileCache
 from repro.regfile.monolithic import SingleBankedRegisterFile
-from repro.regfile.policies import CachingPolicy, NonBypassCaching, ReadyCaching
-from repro.regfile.prefetch import FetchOnDemand, FetchPolicy, PrefetchFirstPair
-from repro.workloads.profiles import get_profile
+from repro.regfile.policies import caching_policy_by_name
+from repro.regfile.prefetch import fetch_policy_by_name
 from repro.workloads.spec_suites import SPECFP95, SPECINT95
-from repro.workloads.synthetic import SyntheticWorkload
 
 #: Type of a register file factory as accepted by the processor model.
 RegfileFactory = Callable[[], RegisterFileModel]
@@ -43,9 +50,20 @@ class ExperimentSettings:
             raise ConfigurationError("instructions_per_benchmark must be positive")
         if self.warmup_instructions < 0:
             raise ConfigurationError("warmup_instructions cannot be negative")
+        if self.benchmarks is not None and not list(self.benchmarks):
+            raise ConfigurationError(
+                "benchmark filter is empty (omit it to run the full suite)"
+            )
 
-    def suite(self, which: str) -> Sequence[str]:
-        """Benchmarks of a suite ("int", "fp" or "all"), honouring the filter."""
+    def suite_selection(self, which: str) -> Sequence[str]:
+        """Benchmarks of a suite ("int", "fp" or "all"), honouring the filter.
+
+        May be empty (a valid FP-only filter selects nothing from "int";
+        experiments simply skip that suite).  A filter naming benchmarks
+        that do not exist anywhere raises, listing the unknown names —
+        the old behaviour of silently falling back to the suite's first
+        benchmark hid typos.
+        """
         if which == "int":
             names = SPECINT95
         elif which == "fp":
@@ -54,8 +72,45 @@ class ExperimentSettings:
             names = SPECINT95 + SPECFP95
         if self.benchmarks is None:
             return names
-        selected = [name for name in names if name in self.benchmarks]
-        return selected or list(names[:1])
+        known = set(SPECINT95 + SPECFP95)
+        unknown = sorted(name for name in self.benchmarks if name not in known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown benchmarks in filter: {', '.join(unknown)} "
+                f"(known: {', '.join(SPECINT95 + SPECFP95)})"
+            )
+        return [name for name in names if name in self.benchmarks]
+
+    def suite(self, which: str) -> Sequence[str]:
+        """Like :meth:`suite_selection`, but an empty selection raises.
+
+        Raises
+        ------
+        ConfigurationError
+            If the ``benchmarks`` filter names unknown benchmarks, or if
+            it excludes every benchmark of the explicitly requested suite.
+        """
+        selected = self.suite_selection(which)
+        if not selected:
+            raise ConfigurationError(
+                f"benchmark filter {sorted(self.benchmarks or ())} matches "
+                f"no benchmark of suite {which!r}"
+            )
+        return selected
+
+    def active_suite_labels(self) -> List[tuple]:
+        """The ("int"/"fp", display label) pairs the filter leaves non-empty.
+
+        Experiments iterate this instead of a hard-coded
+        ``(("int", "SpecInt95"), ("fp", "SpecFP95"))`` so that a
+        single-suite ``--benchmarks`` filter runs the one suite it names
+        rather than failing on the other.
+        """
+        return [
+            (suite, label)
+            for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95"))
+            if self.suite_selection(suite)
+        ]
 
     def processor_config(self, **overrides) -> ProcessorConfig:
         """Processor configuration with the experiment's instruction budget."""
@@ -79,14 +134,76 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# architecture factories
+# architecture factories (picklable, introspectable)
 # ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SingleBankedFactory:
+    """Builds single-banked register files of a fixed latency/bypass depth."""
+
+    latency: int = 1
+    bypass_levels: int = 1
+    read_ports: Optional[int] = UNLIMITED
+    write_ports: Optional[int] = UNLIMITED
+    name: str = "single-banked"
+
+    def __call__(self) -> SingleBankedRegisterFile:
+        return SingleBankedRegisterFile(
+            latency=self.latency,
+            bypass_levels=self.bypass_levels,
+            read_ports=self.read_ports,
+            write_ports=self.write_ports,
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class RegisterFileCacheFactory:
+    """Builds register file caches; policies are referenced by name."""
+
+    caching: str = "non-bypass"
+    fetch: str = "prefetch-first-pair"
+    upper_read_ports: Optional[int] = UNLIMITED
+    upper_write_ports: Optional[int] = UNLIMITED
+    lower_write_ports: Optional[int] = UNLIMITED
+    buses: Optional[int] = UNLIMITED
+    upper_capacity: int = 16
+    lower_read_latency: int = 1
+
+    def __call__(self) -> RegisterFileCache:
+        return RegisterFileCache(
+            upper_capacity=self.upper_capacity,
+            caching_policy=caching_policy_by_name(self.caching),
+            fetch_policy=fetch_policy_by_name(self.fetch),
+            upper_read_ports=self.upper_read_ports,
+            upper_write_ports=self.upper_write_ports,
+            lower_write_ports=self.lower_write_ports,
+            num_buses=self.buses,
+            lower_read_latency=self.lower_read_latency,
+        )
+
+
+@dataclass(frozen=True)
+class OneLevelBankedFactory:
+    """Builds the one-level interleaved-bank organisation of Figure 4a."""
+
+    num_banks: int = 2
+    read_ports_per_bank: int = 2
+    write_ports_per_bank: int = 2
+
+    def __call__(self) -> OneLevelBankedRegisterFile:
+        return OneLevelBankedRegisterFile(
+            num_banks=self.num_banks,
+            read_ports_per_bank=self.read_ports_per_bank,
+            write_ports_per_bank=self.write_ports_per_bank,
+        )
 
 
 def one_cycle_factory(read_ports: Optional[int] = UNLIMITED,
                       write_ports: Optional[int] = UNLIMITED) -> RegfileFactory:
     """Non-pipelined single-banked register file (1 cycle, 1 bypass level)."""
-    return lambda: SingleBankedRegisterFile(
+    return SingleBankedFactory(
         latency=1, bypass_levels=1, read_ports=read_ports, write_ports=write_ports,
         name="1-cycle single-banked",
     )
@@ -95,7 +212,7 @@ def one_cycle_factory(read_ports: Optional[int] = UNLIMITED,
 def two_cycle_full_bypass_factory(read_ports: Optional[int] = UNLIMITED,
                                   write_ports: Optional[int] = UNLIMITED) -> RegfileFactory:
     """Pipelined single-banked register file with full (two-level) bypass."""
-    return lambda: SingleBankedRegisterFile(
+    return SingleBankedFactory(
         latency=2, bypass_levels=2, read_ports=read_ports, write_ports=write_ports,
         name="2-cycle single-banked, full bypass",
     )
@@ -104,7 +221,7 @@ def two_cycle_full_bypass_factory(read_ports: Optional[int] = UNLIMITED,
 def two_cycle_one_bypass_factory(read_ports: Optional[int] = UNLIMITED,
                                  write_ports: Optional[int] = UNLIMITED) -> RegfileFactory:
     """Pipelined single-banked register file with a single bypass level."""
-    return lambda: SingleBankedRegisterFile(
+    return SingleBankedFactory(
         latency=2, bypass_levels=1, read_ports=read_ports, write_ports=write_ports,
         name="2-cycle single-banked, 1 bypass",
     )
@@ -120,27 +237,22 @@ def register_file_cache_factory(
     upper_capacity: int = 16,
     lower_read_latency: int = 1,
 ) -> RegfileFactory:
-    """Register file cache with the given policies and port counts."""
+    """Register file cache with the given policies and port counts.
 
-    def build() -> RegisterFileCache:
-        caching_policy: CachingPolicy = (
-            NonBypassCaching() if caching == "non-bypass" else ReadyCaching()
-        )
-        fetch_policy: FetchPolicy = (
-            PrefetchFirstPair() if fetch == "prefetch-first-pair" else FetchOnDemand()
-        )
-        return RegisterFileCache(
-            upper_capacity=upper_capacity,
-            caching_policy=caching_policy,
-            fetch_policy=fetch_policy,
-            upper_read_ports=upper_read_ports,
-            upper_write_ports=upper_write_ports,
-            lower_write_ports=lower_write_ports,
-            num_buses=buses,
-            lower_read_latency=lower_read_latency,
-        )
-
-    return build
+    ``caching`` accepts any registered policy name ("non-bypass",
+    "ready", "always", "never"); ``fetch`` accepts "prefetch-first-pair"
+    or "fetch-on-demand".
+    """
+    return RegisterFileCacheFactory(
+        caching=caching,
+        fetch=fetch,
+        upper_read_ports=upper_read_ports,
+        upper_write_ports=upper_write_ports,
+        lower_write_ports=lower_write_ports,
+        buses=buses,
+        upper_capacity=upper_capacity,
+        lower_read_latency=lower_read_latency,
+    )
 
 
 def architecture_factories() -> Dict[str, RegfileFactory]:
@@ -159,15 +271,37 @@ def architecture_factories() -> Dict[str, RegfileFactory]:
 
 
 class SimulationCache:
-    """Memoizes simulation results within one process.
+    """Memoizes simulation results, optionally across processes and runs.
 
     Several figures share the same baseline runs (e.g. the 1-cycle
     unlimited-port configuration); the cache avoids re-simulating them.
+    Results live in a :class:`~repro.experiments.store.ResultStore`,
+    keyed by a content hash of the benchmark, the architecture (factory
+    parameters included) and the **full** processor configuration — two
+    configs differing in any field never collide.  Hand the cache a store
+    with a ``cache_dir`` and results persist across invocations.
     """
 
-    def __init__(self, settings: ExperimentSettings) -> None:
+    def __init__(self, settings: ExperimentSettings,
+                 store: Optional[ResultStore] = None) -> None:
         self.settings = settings
-        self._results: Dict[tuple, SimulationStats] = {}
+        self.store = store if store is not None else ResultStore()
+
+    def point(
+        self,
+        benchmark: str,
+        factory: RegfileFactory,
+        key: str,
+        config: Optional[ProcessorConfig] = None,
+    ) -> SimulationPoint:
+        """The :class:`SimulationPoint` that :meth:`run` would execute."""
+        return SimulationPoint(
+            benchmark=benchmark,
+            factory=factory,
+            architecture=key,
+            config=config or self.settings.processor_config(),
+            warmup_instructions=self.settings.warmup_instructions,
+        )
 
     def run(
         self,
@@ -177,18 +311,12 @@ class SimulationCache:
         config: Optional[ProcessorConfig] = None,
     ) -> SimulationStats:
         """Simulate ``benchmark`` on the architecture labelled ``key``."""
-        config = config or self.settings.processor_config()
-        cache_key = (benchmark, key, config.max_instructions,
-                     config.num_int_physical, config.collect_occupancy,
-                     config.instruction_window, config.rob_size)
-        if cache_key in self._results:
-            return self._results[cache_key]
-        workload = SyntheticWorkload(get_profile(benchmark))
-        stream = workload.instructions(
-            config.max_instructions + self.settings.warmup_instructions
-        )
-        stats = simulate(stream, factory, config, benchmark_name=benchmark)
-        self._results[cache_key] = stats
+        point = self.point(benchmark, factory, key, config)
+        store_key = point.store_key()
+        stats = self.store.get(store_key)
+        if stats is None:
+            stats = run_simulation_point(point)
+            self.store.put(store_key, stats, metadata=point.metadata())
         return stats
 
     def suite_ipcs(
@@ -203,6 +331,34 @@ class SimulationCache:
             benchmark: self.run(benchmark, factory, key, config).ipc
             for benchmark in self.settings.suite(suite)
         }
+
+
+def suite_points(
+    settings: ExperimentSettings,
+    suites: Sequence[str],
+    factory: RegfileFactory,
+    key: str,
+    config: Optional[ProcessorConfig] = None,
+) -> List[SimulationPoint]:
+    """The simulation points ``suite_ipcs`` would trigger, one per benchmark.
+
+    The ``plan`` function of each figure module is built out of these;
+    the scheduler deduplicates overlapping declarations across figures.
+    """
+    benchmarks: List[str] = []
+    for suite in suites:
+        benchmarks.extend(settings.suite_selection(suite))
+    resolved = config or settings.processor_config()
+    return [
+        SimulationPoint(
+            benchmark=benchmark,
+            factory=factory,
+            architecture=key,
+            config=resolved,
+            warmup_instructions=settings.warmup_instructions,
+        )
+        for benchmark in dict.fromkeys(benchmarks)
+    ]
 
 
 def suite_harmonic_mean(ipcs: Mapping[str, float]) -> float:

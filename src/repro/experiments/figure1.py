@@ -18,10 +18,31 @@ from repro.experiments.common import (
     SimulationCache,
     one_cycle_factory,
     suite_harmonic_mean,
+    suite_points,
 )
+from repro.experiments.scheduler import SimulationPoint
 
 #: Register counts swept by the paper.
 REGISTER_COUNTS: tuple[int, ...] = (48, 64, 96, 128, 160, 192, 224, 256)
+
+
+def plan(
+    settings: ExperimentSettings,
+    register_counts: Sequence[int] = REGISTER_COUNTS,
+) -> list[SimulationPoint]:
+    """Simulation points Figure 1 needs (for the parallel scheduler)."""
+    factory = one_cycle_factory()
+    points: list[SimulationPoint] = []
+    for count in register_counts:
+        config = settings.processor_config(
+            num_int_physical=count,
+            num_fp_physical=count,
+            instruction_window=256,
+            rob_size=256,
+        )
+        points += suite_points(settings, ("int", "fp"), factory,
+                               f"1-cycle/{count}regs", config)
+    return points
 
 
 def run(
@@ -34,7 +55,8 @@ def run(
     cache = cache or SimulationCache(settings)
     factory = one_cycle_factory()
 
-    series: dict[str, list[float]] = {"SpecInt95": [], "SpecFP95": []}
+    labels = settings.active_suite_labels()
+    series: dict[str, list[float]] = {label: [] for _suite, label in labels}
     per_benchmark: dict[int, dict[str, float]] = {}
     for count in register_counts:
         config = settings.processor_config(
@@ -43,11 +65,12 @@ def run(
             instruction_window=256,
             rob_size=256,
         )
-        ipcs_int = cache.suite_ipcs("int", factory, f"1-cycle/{count}regs", config)
-        ipcs_fp = cache.suite_ipcs("fp", factory, f"1-cycle/{count}regs", config)
-        per_benchmark[count] = {**ipcs_int, **ipcs_fp}
-        series["SpecInt95"].append(suite_harmonic_mean(ipcs_int))
-        series["SpecFP95"].append(suite_harmonic_mean(ipcs_fp))
+        merged: dict[str, float] = {}
+        for suite, label in labels:
+            ipcs = cache.suite_ipcs(suite, factory, f"1-cycle/{count}regs", config)
+            merged.update(ipcs)
+            series[label].append(suite_harmonic_mean(ipcs))
+        per_benchmark[count] = merged
 
     body = format_figure(
         list(register_counts),

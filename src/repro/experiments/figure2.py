@@ -17,6 +17,7 @@ from repro.experiments.common import (
     ExperimentSettings,
     SimulationCache,
     one_cycle_factory,
+    suite_points,
     two_cycle_full_bypass_factory,
     two_cycle_one_bypass_factory,
     with_hmean,
@@ -29,6 +30,14 @@ ARCHITECTURES = (
 )
 
 
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points Figure 2 needs (for the parallel scheduler)."""
+    points: list = []
+    for _name, factory_builder, key in ARCHITECTURES:
+        points += suite_points(settings, ("int", "fp"), factory_builder(), key)
+    return points
+
+
 def run(
     settings: Optional[ExperimentSettings] = None,
     cache: Optional[SimulationCache] = None,
@@ -39,7 +48,7 @@ def run(
 
     data: dict[str, dict[str, dict[str, float]]] = {}
     sections = []
-    for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95")):
+    for suite, label in settings.active_suite_labels():
         series = {}
         for name, factory_builder, key in ARCHITECTURES:
             ipcs = cache.suite_ipcs(suite, factory_builder(), key)

@@ -20,9 +20,17 @@ from repro.experiments.common import (
     ExperimentSettings,
     SimulationCache,
     one_cycle_factory,
+    suite_points,
 )
 
 MAX_REGISTERS = 32
+
+
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points Figure 3 needs (for the parallel scheduler)."""
+    config = settings.processor_config(collect_occupancy=True)
+    return suite_points(settings, ("int", "fp"), one_cycle_factory(),
+                        "1-cycle/occupancy", config)
 
 
 def run(
@@ -36,7 +44,7 @@ def run(
 
     sections = []
     data: dict[str, dict[str, list[float]]] = {}
-    for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95")):
+    for suite, label in settings.active_suite_labels():
         config = settings.processor_config(collect_occupancy=True)
         needed_cdfs = []
         ready_cdfs = []

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     ExperimentSettings,
     SimulationCache,
     register_file_cache_factory,
+    suite_points,
     with_hmean,
 )
 
@@ -25,6 +26,16 @@ POLICY_COMBINATIONS = (
     ("ready caching + prefetch-first-pair", "ready", "prefetch-first-pair"),
     ("non-bypass caching + prefetch-first-pair", "non-bypass", "prefetch-first-pair"),
 )
+
+
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points Figure 5 needs (for the parallel scheduler)."""
+    points: list = []
+    for _name, caching, fetch in POLICY_COMBINATIONS:
+        factory = register_file_cache_factory(caching=caching, fetch=fetch)
+        points += suite_points(settings, ("int", "fp"), factory,
+                               f"rfc/{caching}/{fetch}")
+    return points
 
 
 def run(
@@ -37,7 +48,7 @@ def run(
 
     data: dict[str, dict[str, dict[str, float]]] = {}
     sections = []
-    for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95")):
+    for suite, label in settings.active_suite_labels():
         series = {}
         for name, caching, fetch in POLICY_COMBINATIONS:
             factory = register_file_cache_factory(caching=caching, fetch=fetch)

@@ -20,9 +20,27 @@ from repro.experiments.common import (
     SimulationCache,
     one_cycle_factory,
     register_file_cache_factory,
+    suite_points,
     two_cycle_one_bypass_factory,
     with_hmean,
 )
+
+
+def _architectures() -> tuple:
+    return (
+        ("1-cycle", one_cycle_factory(), "1-cycle"),
+        ("non-bypass caching + prefetch-first-pair",
+         register_file_cache_factory(), "rfc/non-bypass/prefetch-first-pair"),
+        ("2-cycle", two_cycle_one_bypass_factory(), "2-cycle-1byp"),
+    )
+
+
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points Figure 6 needs (for the parallel scheduler)."""
+    points: list = []
+    for _name, factory, key in _architectures():
+        points += suite_points(settings, ("int", "fp"), factory, key)
+    return points
 
 
 def run(
@@ -33,16 +51,11 @@ def run(
     settings = settings or ExperimentSettings()
     cache = cache or SimulationCache(settings)
 
-    architectures = (
-        ("1-cycle", one_cycle_factory(), "1-cycle"),
-        ("non-bypass caching + prefetch-first-pair",
-         register_file_cache_factory(), "rfc/non-bypass/prefetch-first-pair"),
-        ("2-cycle", two_cycle_one_bypass_factory(), "2-cycle-1byp"),
-    )
+    architectures = _architectures()
 
     data: dict[str, dict] = {}
     sections = []
-    for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95")):
+    for suite, label in settings.active_suite_labels():
         series = {}
         for name, factory, key in architectures:
             series[name] = with_hmean(cache.suite_ipcs(suite, factory, key))

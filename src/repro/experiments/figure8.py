@@ -19,6 +19,7 @@ from repro.experiments.common import (
     one_cycle_factory,
     register_file_cache_factory,
     suite_harmonic_mean,
+    suite_points,
     two_cycle_one_bypass_factory,
 )
 from repro.hwmodel.area import RegisterFileGeometry
@@ -33,6 +34,50 @@ CACHE_WRITE_PORTS: Sequence[int] = (2, 3)
 CACHE_BUSES: Sequence[int] = (1, 2)
 
 
+def _single_banked_arch(latency: int, reads: int, writes: int) -> tuple:
+    """(factory, key) of one swept single-banked configuration."""
+    if latency == 1:
+        return (one_cycle_factory(read_ports=reads, write_ports=writes),
+                f"1-cycle/{reads}R{writes}W")
+    return (two_cycle_one_bypass_factory(read_ports=reads, write_ports=writes),
+            f"2-cycle-1byp/{reads}R{writes}W")
+
+
+def _rfc_arch(reads: int, writes: int, buses: int) -> tuple:
+    """(factory, key) of one swept register-file-cache configuration."""
+    return (
+        register_file_cache_factory(
+            upper_read_ports=reads,
+            upper_write_ports=writes,
+            lower_write_ports=writes,
+            buses=buses,
+        ),
+        f"rfc/{reads}R{writes}W{buses}B",
+    )
+
+
+def _swept_architectures() -> List[tuple]:
+    """Every (factory, key) pair the sweep evaluates, baseline included."""
+    pairs: List[tuple] = [(one_cycle_factory(), "1-cycle")]
+    for reads in SINGLE_READ_PORTS:
+        for writes in SINGLE_WRITE_PORTS:
+            pairs.append(_single_banked_arch(1, reads, writes))
+            pairs.append(_single_banked_arch(2, reads, writes))
+    for reads in CACHE_READ_PORTS:
+        for writes in CACHE_WRITE_PORTS:
+            for buses in CACHE_BUSES:
+                pairs.append(_rfc_arch(reads, writes, buses))
+    return pairs
+
+
+def plan(settings: ExperimentSettings) -> List:
+    """Simulation points Figure 8 needs (for the parallel scheduler)."""
+    points: List = []
+    for factory, key in _swept_architectures():
+        points += suite_points(settings, ("int", "fp"), factory, key)
+    return points
+
+
 def _single_banked_points(
     cache: SimulationCache,
     suite: str,
@@ -42,12 +87,7 @@ def _single_banked_points(
     points: List[DesignPoint] = []
     for reads in SINGLE_READ_PORTS:
         for writes in SINGLE_WRITE_PORTS:
-            if latency == 1:
-                factory = one_cycle_factory(read_ports=reads, write_ports=writes)
-                key = f"1-cycle/{reads}R{writes}W"
-            else:
-                factory = two_cycle_one_bypass_factory(read_ports=reads, write_ports=writes)
-                key = f"2-cycle-1byp/{reads}R{writes}W"
+            factory, key = _single_banked_arch(latency, reads, writes)
             ipcs = cache.suite_ipcs(suite, factory, key)
             geometry = RegisterFileGeometry(128, reads, writes)
             points.append(
@@ -69,13 +109,7 @@ def _register_file_cache_points(
     for reads in CACHE_READ_PORTS:
         for writes in CACHE_WRITE_PORTS:
             for buses in CACHE_BUSES:
-                factory = register_file_cache_factory(
-                    upper_read_ports=reads,
-                    upper_write_ports=writes,
-                    lower_write_ports=writes,
-                    buses=buses,
-                )
-                key = f"rfc/{reads}R{writes}W{buses}B"
+                factory, key = _rfc_arch(reads, writes, buses)
                 ipcs = cache.suite_ipcs(suite, factory, key)
                 geometry = RegisterFileCacheGeometry(
                     upper_read_ports=reads,
@@ -103,7 +137,7 @@ def run(
 
     sections = []
     data: Dict[str, Dict[str, List[dict]]] = {}
-    for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95")):
+    for suite, label in settings.active_suite_labels():
         baseline = suite_harmonic_mean(
             cache.suite_ipcs(suite, one_cycle_factory(), "1-cycle")
         )

@@ -35,6 +35,11 @@ PAPER_CLAIMS = {
 }
 
 
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points the headline experiment needs (Figures 6 and 9)."""
+    return figure6.plan(settings) + figure9_table2.plan(settings)
+
+
 def run(
     settings: Optional[ExperimentSettings] = None,
     cache: Optional[SimulationCache] = None,
@@ -47,7 +52,7 @@ def run(
     throughput_result = figure9_table2.run(settings, cache)
 
     measured: dict[tuple[str, str], float] = {}
-    for label in ("SpecInt95", "SpecFP95"):
+    for _suite, label in settings.active_suite_labels():
         summary = ipc_result.data[label + "_summary"]
         measured[(label, "IPC vs 1-cycle")] = summary["vs_one_cycle_pct"]
         measured[(label, "IPC vs 2-cycle/1-bypass")] = summary["vs_two_cycle_pct"]
@@ -62,6 +67,8 @@ def run(
 
     rows = []
     for (suite, metric), paper_value in PAPER_CLAIMS.items():
+        if (suite, metric) not in measured:  # suite filtered out
+            continue
         rows.append(
             (suite, metric, f"{paper_value:+.0f}%", f"{measured[(suite, metric)]:+.1f}%")
         )

@@ -1,0 +1,152 @@
+"""Parallel execution of simulation points.
+
+Experiments *declare* the simulation runs they need as
+:class:`SimulationPoint` objects (see the ``plan`` function of each
+figure module); the scheduler deduplicates them, skips points already in
+the :class:`~repro.experiments.store.ResultStore` and fans the remainder
+out across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Simulations are deterministic functions of ``(benchmark profile, seed,
+architecture, config)``, so a parallel run produces bit-identical
+statistics to a serial one — only wall-clock time changes.  For the
+points to survive the trip to a worker process everything in them must
+pickle, which is why the architecture factories in
+:mod:`repro.experiments.common` are frozen dataclasses rather than
+lambdas.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.experiments.store import ResultStore, simulation_key
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.pipeline.stats import SimulationStats
+from repro.regfile.base import RegisterFileModel
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Progress sink: receives human-readable one-liners.
+ProgressCallback = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class SimulationPoint:
+    """One (benchmark, architecture, configuration) simulation to run."""
+
+    benchmark: str
+    factory: Callable[[], RegisterFileModel]
+    architecture: str
+    config: ProcessorConfig
+    warmup_instructions: int = 0
+
+    def store_key(self) -> str:
+        return simulation_key(
+            self.benchmark,
+            self.architecture,
+            self.config,
+            self.warmup_instructions,
+            self.factory,
+        )
+
+    def metadata(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "architecture": self.architecture,
+            "instructions": self.config.max_instructions,
+            "warmup_instructions": self.warmup_instructions,
+        }
+
+
+def run_simulation_point(point: SimulationPoint) -> SimulationStats:
+    """Simulate one point from scratch (also the worker-process entry)."""
+    workload = SyntheticWorkload(get_profile(point.benchmark))
+    stream = workload.instructions(
+        point.config.max_instructions + point.warmup_instructions
+    )
+    return simulate(stream, point.factory, point.config,
+                    benchmark_name=point.benchmark)
+
+
+def _execute_remote(point: SimulationPoint) -> dict:
+    """Worker wrapper: ship the stats back as a plain dictionary."""
+    return run_simulation_point(point).to_dict()
+
+
+def dedupe_points(points: Iterable[SimulationPoint]) -> Dict[str, SimulationPoint]:
+    """Unique points keyed by their store key, first occurrence wins."""
+    unique: Dict[str, SimulationPoint] = {}
+    for point in points:
+        unique.setdefault(point.store_key(), point)
+    return unique
+
+
+def execute_points(
+    points: Sequence[SimulationPoint],
+    store: ResultStore,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[str, int]:
+    """Ensure every point's result is present in ``store``.
+
+    Returns a summary dictionary (``requested``, ``unique``, ``cached``,
+    ``executed``, ``elapsed_seconds``) that the runner logs.
+    """
+    started = time.time()
+    points = list(points)
+    requested = len(points)
+    unique = dedupe_points(points)
+    pending: Dict[str, SimulationPoint] = {
+        key: point for key, point in unique.items() if store.get(key) is None
+    }
+    cached = len(unique) - len(pending)
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    say(
+        f"schedule: {requested} runs requested, {len(unique)} unique, "
+        f"{cached} cached, {len(pending)} to simulate"
+        + (f" on {jobs} workers" if jobs > 1 and pending else "")
+    )
+
+    done = 0
+
+    def record(key: str, point: SimulationPoint, stats: SimulationStats) -> None:
+        nonlocal done
+        store.put(key, stats, metadata=point.metadata())
+        done += 1
+        say(
+            f"[{done}/{len(pending)}] {point.benchmark} @ {point.architecture} "
+            f"(t={time.time() - started:.1f}s)"
+        )
+
+    if jobs <= 1 or len(pending) <= 1:
+        for key, point in pending.items():
+            record(key, point, run_simulation_point(point))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_execute_remote, point): (key, point)
+                for key, point in pending.items()
+            }
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    key, point = futures[future]
+                    record(key, point, SimulationStats.from_dict(future.result()))
+
+    return {
+        "requested": requested,
+        "unique": len(unique),
+        "cached": cached,
+        "executed": len(pending),
+        "elapsed_seconds": round(time.time() - started, 1),
+    }

@@ -1,0 +1,191 @@
+"""Two-tier storage of simulation results.
+
+:class:`ResultStore` keeps every :class:`~repro.pipeline.stats.SimulationStats`
+produced by the experiment harness in an in-memory dictionary and,
+optionally, mirrors it to a directory of JSON files so that repeated
+invocations of the runner only pay for simulation points they have never
+seen before.
+
+Keys are content hashes over everything that determines a simulation's
+outcome: the benchmark name, the register-file architecture (its factory
+parameters, not just its display label), the **full**
+:class:`~repro.pipeline.config.ProcessorConfig` and the warmup budget.
+The historical in-process cache keyed on a 5-field tuple silently
+collided when two configurations differed in any other field
+(``issue_width``, ``lsq_size``, cache geometry, ...); hashing the whole
+config closes that hole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Callable, Dict, Optional
+
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.stats import SimulationStats
+
+#: Bump when the on-disk payload layout changes; mismatching entries are
+#: treated as cache misses rather than errors.
+SCHEMA_VERSION = 1
+
+
+def _canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def factory_fingerprint(factory: Callable) -> dict:
+    """Stable description of a register-file factory.
+
+    The factories built by :mod:`repro.experiments.common` are frozen
+    dataclasses, so their class name plus parameters pin down the exact
+    architecture.  Opaque callables (lambdas, local closures) cannot be
+    introspected; they are identified by their qualified name and rely on
+    the experiment's architecture key for disambiguation.
+    """
+    if dataclasses.is_dataclass(factory) and not isinstance(factory, type):
+        return {
+            "type": type(factory).__name__,
+            "parameters": dataclasses.asdict(factory),
+        }
+    return {"type": getattr(factory, "__qualname__", type(factory).__name__)}
+
+
+def simulation_key(
+    benchmark: str,
+    architecture: str,
+    config: ProcessorConfig,
+    warmup_instructions: int,
+    factory: Optional[Callable] = None,
+) -> str:
+    """Content hash identifying one simulation point."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "architecture": architecture,
+        "factory": factory_fingerprint(factory) if factory is not None else None,
+        "config": dataclasses.asdict(config),
+        "warmup_instructions": warmup_instructions,
+    }
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """In-memory dictionary of results, optionally backed by a directory.
+
+    The memory tier returns the very same :class:`SimulationStats` object
+    on repeated lookups (experiments rely on memoization identity); the
+    disk tier round-trips through JSON, so a fresh process gets an
+    equal-but-distinct object.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, SimulationStats] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return self.peek(key) is not None
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")  # type: ignore[arg-type]
+
+    def _load_from_disk(self, key: str) -> Optional[SimulationStats]:
+        if not self.cache_dir:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION or "stats" not in payload:
+            return None
+        try:
+            return SimulationStats.from_dict(payload["stats"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+
+    def peek(self, key: str) -> Optional[SimulationStats]:
+        """Lookup without touching the hit/miss counters."""
+        stats = self._memory.get(key)
+        if stats is not None:
+            return stats
+        stats = self._load_from_disk(key)
+        if stats is not None:
+            self._memory[key] = stats
+        return stats
+
+    def get(self, key: str) -> Optional[SimulationStats]:
+        """Fetch a result, promoting disk entries into the memory tier."""
+        stats = self._memory.get(key)
+        if stats is not None:
+            self.memory_hits += 1
+            return stats
+        stats = self._load_from_disk(key)
+        if stats is not None:
+            self._memory[key] = stats
+            self.disk_hits += 1
+            return stats
+        self.misses += 1
+        return None
+
+    def put(self, key: str, stats: SimulationStats, metadata: Optional[dict] = None) -> None:
+        """Record a result in both tiers (the disk write is atomic)."""
+        self._memory[key] = stats
+        self.stores += 1
+        if not self.cache_dir:
+            return
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "metadata": metadata or {},
+            "stats": stats.to_dict(),
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=str)
+            os.replace(tmp_path, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss accounting for progress reports and tests."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._memory),
+        }
+
+    def describe(self) -> str:
+        counts = self.counters()
+        tier = self.cache_dir or "memory only"
+        return (
+            f"simulation cache [{tier}]: {counts['memory_hits']} memory hits, "
+            f"{counts['disk_hits']} disk hits, {counts['misses']} misses, "
+            f"{counts['stores']} new results"
+        )

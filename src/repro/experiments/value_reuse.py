@@ -17,7 +17,13 @@ from repro.experiments.common import (
     ExperimentSettings,
     SimulationCache,
     one_cycle_factory,
+    suite_points,
 )
+
+
+def plan(settings: ExperimentSettings) -> list:
+    """Simulation points the value-reuse statistic needs."""
+    return suite_points(settings, ("int", "fp"), one_cycle_factory(), "1-cycle")
 
 
 def run(
@@ -31,7 +37,7 @@ def run(
 
     rows = []
     data: dict = {}
-    for suite, label in (("int", "SpecInt95"), ("fp", "SpecFP95")):
+    for suite, label in settings.active_suite_labels():
         combined: Counter = Counter()
         for benchmark in settings.suite(suite):
             stats = cache.run(benchmark, factory, "1-cycle")

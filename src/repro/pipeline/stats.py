@@ -11,7 +11,7 @@ the Section 3 statistics.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 
@@ -149,6 +149,39 @@ class SimulationStats:
             return 1.0
         at_most_once = self.value_read_distribution.get(0, 0) + self.value_read_distribution.get(1, 0)
         return at_most_once / total
+
+    # ------------------------------------------------------------------
+    # serialization (persistent result store, multiprocess transport)
+    # ------------------------------------------------------------------
+
+    #: Fields stored as ``Counter`` objects with integer keys.  JSON turns
+    #: the keys into strings, so round-tripping needs the explicit list.
+    _COUNTER_FIELDS = ("value_read_distribution", "occupancy_needed", "occupancy_ready")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dictionary holding every counter of the run."""
+        payload: dict = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, dict):  # Counter is a dict subclass
+                value = {str(key): count for key, count in value.items()}
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        kwargs: dict = {}
+        for spec in fields(cls):
+            if spec.name not in payload:
+                continue
+            value = payload[spec.name]
+            if spec.name in cls._COUNTER_FIELDS:
+                value = Counter({int(key): int(count) for key, count in value.items()})
+            elif spec.name == "regfile_statistics":
+                value = {str(key): int(count) for key, count in value.items()}
+            kwargs[spec.name] = value
+        return cls(**kwargs)
 
     # ------------------------------------------------------------------
 
