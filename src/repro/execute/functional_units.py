@@ -54,6 +54,7 @@ _UNPIPELINED_CLASSES = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
 @dataclass
 class _Group:
     count: int
+    name: str = ""
     issued_this_cycle: int = 0
     #: cycles at which currently busy (unpipelined) units become free
     busy_until: list[int] = field(default_factory=list)
@@ -65,11 +66,17 @@ class FunctionalUnitPool:
     def __init__(self, config: FunctionalUnitConfig | None = None) -> None:
         self.config = config or FunctionalUnitConfig()
         self._groups: dict[str, _Group] = {
-            "simple_int": _Group(self.config.simple_int),
-            "int_mul_div": _Group(self.config.int_mul_div),
-            "simple_fp": _Group(self.config.simple_fp),
-            "fp_div": _Group(self.config.fp_div),
-            "load_store": _Group(self.config.load_store),
+            "simple_int": _Group(self.config.simple_int, "simple_int"),
+            "int_mul_div": _Group(self.config.int_mul_div, "int_mul_div"),
+            "simple_fp": _Group(self.config.simple_fp, "simple_fp"),
+            "fp_div": _Group(self.config.fp_div, "fp_div"),
+            "load_store": _Group(self.config.load_store, "load_store"),
+        }
+        # Resolve op class -> group once; ``can_issue``/``issue`` run for
+        # every issued instruction.
+        self._group_for_class: dict[OpClass, _Group] = {
+            op_class: self._groups[name]
+            for op_class, name in _GROUP_FOR_CLASS.items()
         }
         self._cycle = -1
         # statistics
@@ -86,13 +93,20 @@ class FunctionalUnitPool:
         self._cycle = cycle
         for group in self._groups.values():
             group.issued_this_cycle = 0
-            group.busy_until = [c for c in group.busy_until if c > cycle]
+            if group.busy_until:
+                group.busy_until = [c for c in group.busy_until if c > cycle]
 
     def can_issue(self, op_class: OpClass, cycle: int) -> bool:
         """Whether a unit for ``op_class`` can accept a new operation now."""
-        group = self._groups[_GROUP_FOR_CLASS[op_class]]
-        busy = len([c for c in group.busy_until if c > cycle])
-        available = group.count - busy - group.issued_this_cycle
+        group = self._group_for_class[op_class]
+        available = group.count - group.issued_this_cycle
+        if available <= 0:
+            return False
+        # ``busy_until`` is only populated by the (rare) unpipelined
+        # divides; count in place rather than building a filtered list.
+        for busy_cycle in group.busy_until:
+            if busy_cycle > cycle:
+                available -= 1
         return available > 0
 
     def issue(self, op_class: OpClass, cycle: int, latency: int) -> None:
@@ -105,12 +119,11 @@ class FunctionalUnitPool:
             raise ConfigurationError(
                 f"no free {_GROUP_FOR_CLASS[op_class]} unit at cycle {cycle}"
             )
-        group_name = _GROUP_FOR_CLASS[op_class]
-        group = self._groups[group_name]
+        group = self._group_for_class[op_class]
         group.issued_this_cycle += 1
         if op_class in _UNPIPELINED_CLASSES:
             group.busy_until.append(cycle + latency)
-        self.issues_by_group[group_name] += 1
+        self.issues_by_group[group.name] += 1
 
     def record_structural_stall(self) -> None:
         self.structural_stalls += 1

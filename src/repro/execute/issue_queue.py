@@ -23,7 +23,7 @@ from repro.execute.scoreboard import ValueScoreboard
 from repro.rename.renamer import PhysicalRegister, RenamedInstruction
 
 
-@dataclass
+@dataclass(slots=True)
 class IssueQueueEntry:
     """One instruction waiting in the window."""
 
@@ -37,10 +37,14 @@ class IssueQueueEntry:
     earliest_ex_cycle: int = 0
     issued: bool = False
     issue_cycle: Optional[int] = None
+    #: Cached copy of ``renamed.seq``: the select loop reads the sequence
+    #: number for every window entry every cycle, and the property chain
+    #: through two dataclasses is measurably slow.  Filled by
+    #: ``__post_init__``; the constructor argument is ignored.
+    seq: int = -1
 
-    @property
-    def seq(self) -> int:
-        return self.renamed.seq
+    def __post_init__(self) -> None:
+        self.seq = self.renamed.instruction.seq
 
     @property
     def data_ready(self) -> bool:
@@ -62,10 +66,19 @@ class IssueQueue:
         self.capacity = capacity
         self.scoreboard = scoreboard
         self.bypass = bypass
+        #: Window entries keyed by sequence number.  Dispatch happens in
+        #: program order and Python dictionaries preserve insertion order,
+        #: so iterating the values is oldest-first *by construction* —
+        #: the select loop relies on this instead of sorting every cycle.
+        #: The dictionary object is never rebound (the pipeline hot loop
+        #: holds a direct reference to it).
         self._entries: Dict[int, IssueQueueEntry] = {}
         self._waiters: Dict[PhysicalRegister, List[IssueQueueEntry]] = {}
         self._consumers: Dict[PhysicalRegister, List[IssueQueueEntry]] = {}
         self.max_occupancy = 0
+        # Hot-path caches (both objects are immutable after construction).
+        self._read_stages = bypass.read_stages
+        self._scoreboard_get = scoreboard.get
 
     # ------------------------------------------------------------------
 
@@ -85,26 +98,39 @@ class IssueQueue:
 
     def dispatch(self, renamed: RenamedInstruction, cycle: int) -> IssueQueueEntry:
         """Insert a renamed instruction into the window."""
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             raise SimulationError("issue queue overflow")
         # An instruction cannot be selected in the cycle it is dispatched;
         # the earliest issue is the next cycle, hence the earliest execute
         # is ``dispatch + 1 + read_stages``.
         entry = IssueQueueEntry(renamed=renamed, dispatch_cycle=cycle,
-                                earliest_ex_cycle=cycle + 1 + self.bypass.read_stages)
+                                earliest_ex_cycle=cycle + 1 + self._read_stages)
+        consumers = self._consumers
+        waiters = self._waiters
+        scoreboard_get = self._scoreboard_get
+        earliest_consumer_execute = self.bypass.earliest_consumer_execute
         for register in renamed.sources:
-            self._consumers.setdefault(register, []).append(entry)
-            state = self.scoreboard.get(register)
-            if state.produced:
-                entry.earliest_ex_cycle = max(
-                    entry.earliest_ex_cycle,
-                    self.bypass.earliest_consumer_execute(state.ex_end_cycle),
-                )
+            consumer_list = consumers.get(register)
+            if consumer_list is None:
+                consumers[register] = [entry]
+            else:
+                consumer_list.append(entry)
+            state = scoreboard_get(register)
+            if state.ex_end_cycle is not None:
+                availability = earliest_consumer_execute(state.ex_end_cycle)
+                if availability > entry.earliest_ex_cycle:
+                    entry.earliest_ex_cycle = availability
             else:
                 entry.pending.add(register)
-                self._waiters.setdefault(register, []).append(entry)
-        self._entries[renamed.seq] = entry
-        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+                waiter_list = waiters.get(register)
+                if waiter_list is None:
+                    waiters[register] = [entry]
+                else:
+                    waiter_list.append(entry)
+        entries[entry.seq] = entry
+        if len(entries) > self.max_occupancy:
+            self.max_occupancy = len(entries)
         return entry
 
     def wakeup(self, register: PhysicalRegister, ex_end_cycle: int) -> List[IssueQueueEntry]:
@@ -126,17 +152,23 @@ class IssueQueue:
     # select
     # ------------------------------------------------------------------
 
+    _NO_ENTRIES: List[IssueQueueEntry] = []  # shared; callers must not mutate
+
     def schedulable(self, cycle: int) -> List[IssueQueueEntry]:
         """Entries whose operands allow execution to start at
         ``cycle + read_stages``, oldest first."""
-        ex_start = cycle + self.bypass.read_stages
-        candidates = [
+        entries = self._entries
+        if not entries:
+            return self._NO_ENTRIES
+        ex_start = cycle + self._read_stages
+        # Oldest-first without sorting: insertion order is program order
+        # (see ``_entries``), and issued entries are removed on selection,
+        # so every resident entry has ``issued == False``.
+        return [
             entry
-            for entry in self._entries.values()
-            if not entry.issued and entry.data_ready and entry.earliest_ex_cycle <= ex_start
+            for entry in entries.values()
+            if not entry.pending and entry.earliest_ex_cycle <= ex_start
         ]
-        candidates.sort(key=lambda entry: entry.seq)
-        return candidates
 
     def mark_issued(self, entry: IssueQueueEntry, cycle: int) -> None:
         """Remove an entry from the window once it has been selected."""
@@ -146,22 +178,22 @@ class IssueQueue:
         entry.issue_cycle = cycle
         self._entries.pop(entry.seq, None)
         for register in entry.renamed.sources:
-            consumers = self._consumers.get(register)
-            if consumers is not None:
-                self._consumers[register] = [e for e in consumers if e.seq != entry.seq]
-                if not self._consumers[register]:
-                    del self._consumers[register]
-            waiters = self._waiters.get(register)
-            if waiters is not None:
-                self._waiters[register] = [e for e in waiters if e.seq != entry.seq]
-                if not self._waiters[register]:
-                    del self._waiters[register]
+            for index_map in (self._consumers, self._waiters):
+                waiting = index_map.get(register)
+                if waiting is None:
+                    continue
+                for index, candidate in enumerate(waiting):
+                    if candidate is entry:
+                        del waiting[index]
+                        break
+                if not waiting:
+                    del index_map[register]
 
     def defer(self, entry: IssueQueueEntry, until_cycle: int) -> None:
         """Delay an entry (e.g. waiting for an upper-level fill)."""
-        entry.earliest_ex_cycle = max(
-            entry.earliest_ex_cycle, until_cycle + self.bypass.read_stages
-        )
+        earliest = until_cycle + self._read_stages
+        if earliest > entry.earliest_ex_cycle:
+            entry.earliest_ex_cycle = earliest
 
     # ------------------------------------------------------------------
     # queries used by caching / prefetch policies and statistics

@@ -15,7 +15,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.rename.renamer import RenamedInstruction
 
 
-@dataclass
+@dataclass(slots=True)
 class ROBEntry:
     """Lifecycle record of one in-flight instruction."""
 
@@ -77,21 +77,30 @@ class ReorderBuffer:
             raise SimulationError(f"no ROB entry for seq {seq}")
         return entry
 
+    _NO_ENTRIES: List[ROBEntry] = []  # shared; callers must not mutate
+
     def committable(self, width: int, cycle: int) -> List[ROBEntry]:
         """Return up to ``width`` head entries that completed before ``cycle``.
 
         A completed instruction commits at the earliest one cycle after it
         completes (write-back and commit are separate stages).
         """
-        ready: List[ROBEntry] = []
+        if width <= 0:
+            return self._NO_ENTRIES
+        # Allocation-free fast path: most cycles nothing is committable.
+        ready: Optional[List[ROBEntry]] = None
         for entry in self._entries.values():
-            if len(ready) >= width:
-                break
-            if entry.completed and entry.complete_cycle is not None and entry.complete_cycle < cycle:
-                ready.append(entry)
+            if (entry.completed and entry.complete_cycle is not None
+                    and entry.complete_cycle < cycle):
+                if ready is None:
+                    ready = [entry]
+                else:
+                    ready.append(entry)
+                if len(ready) >= width:
+                    break
             else:
                 break
-        return ready
+        return ready if ready is not None else self._NO_ENTRIES
 
     def commit(self, seq: int) -> ROBEntry:
         """Remove and return the head entry, which must have seq ``seq``."""

@@ -20,7 +20,7 @@ from repro.rename.renamer import PhysicalRegister
 UNKNOWN = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ValueState:
     """Timing state of the value held by one physical register."""
 
@@ -54,6 +54,9 @@ class ValueScoreboard:
     """Tracks :class:`ValueState` for all live physical registers."""
 
     def __init__(self) -> None:
+        #: State per live physical register.  The dictionary object is
+        #: never rebound: the pipeline hot loop keeps a direct reference
+        #: to it to skip a method call per operand lookup.
         self._states: Dict[PhysicalRegister, ValueState] = {}
         # Architected (initial) values are considered always available.
         self._architected: set[PhysicalRegister] = set()

@@ -157,7 +157,8 @@ def render_text(results: Sequence[ExperimentResult]) -> str:
 
 
 def render_json(results: Sequence[ExperimentResult],
-                settings: ExperimentSettings) -> str:
+                settings: ExperimentSettings,
+                store: Optional[ResultStore] = None) -> str:
     payload = {
         "schema": 1,
         "settings": {
@@ -176,6 +177,10 @@ def render_json(results: Sequence[ExperimentResult],
             for result in results
         ],
     }
+    if store is not None:
+        # Cache accounting for the run: a warm rerun must show zero misses
+        # and zero new results (CI asserts this determinism property).
+        payload["cache"] = store.counters()
     return json.dumps(payload, indent=2, sort_keys=True, default=str)
 
 
@@ -208,9 +213,10 @@ def render_csv(results: Sequence[ExperimentResult]) -> str:
 
 def render_report(results: Sequence[ExperimentResult],
                   settings: ExperimentSettings,
-                  report_format: str) -> str:
+                  report_format: str,
+                  store: Optional[ResultStore] = None) -> str:
     if report_format == "json":
-        return render_json(results, settings)
+        return render_json(results, settings, store=store)
     if report_format == "csv":
         return render_csv(results)
     return render_text(results)
@@ -249,7 +255,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    report = render_report(results, settings, args.format)
+    report = render_report(results, settings, args.format, store=store)
     print(report)
     progress(store.describe())
     if args.output:

@@ -23,7 +23,7 @@ from repro.isa.instruction import DynamicInstruction
 from repro.memsys.cache import CacheModel
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchedInstruction:
     """A dynamic instruction annotated with front-end prediction state."""
 
@@ -131,11 +131,7 @@ class FetchUnit:
                 break
 
             line = inst.pc // line_bytes
-            if current_line is None or line != current_line:
-                if current_line is not None and len(group) > 0 and line != current_line + 1:
-                    # A discontinuous fetch (taken branch target) cannot be
-                    # serviced in the same cycle beyond the first line.
-                    pass
+            if line != current_line:
                 result = self.icache.access(inst.pc)
                 if not result.hit:
                     # The group ends; refill charges latency-1 extra cycles.

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.errors import ModelError
 from repro.hwmodel.access_time import access_time_ns
-from repro.hwmodel.area import AREA_UNIT, RegisterFileGeometry
+from repro.hwmodel.area import RegisterFileGeometry
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,11 @@ from repro.isa.opcodes import OpClass, Opcode, default_latency
 class RegisterClass(enum.Enum):
     """Whether a logical register lives in the integer or FP register file."""
 
+    # C-level identity hash: register classes key map tables and register
+    # file dictionaries on the per-instruction path, and the default
+    # ``Enum.__hash__`` is a comparatively slow Python-level function.
+    __hash__ = object.__hash__
+
     INT = "int"
     FP = "fp"
 
@@ -41,6 +46,15 @@ class LogicalRegister:
                 f"logical register index {self.index} out of range "
                 f"[0, {NUM_LOGICAL_PER_CLASS})"
             )
+        # Registers key the hottest dictionaries of the simulator; the
+        # generated dataclass hash allocates a (reg_class, index) tuple on
+        # every call, so cache a cheap, equality-consistent integer hash.
+        object.__setattr__(
+            self, "_hash", (self.index << 1) | (self.reg_class is RegisterClass.FP)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         prefix = "r" if self.reg_class is RegisterClass.INT else "f"
@@ -108,7 +122,7 @@ class StaticInstruction:
         return parts[0] + " " + ", ".join(operands)
 
 
-@dataclass
+@dataclass(slots=True)
 class DynamicInstruction:
     """One instruction of the dynamic stream fed to the timing simulator.
 
@@ -149,11 +163,15 @@ class DynamicInstruction:
     annotations: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        # Identity checks instead of the OpClass convenience properties:
+        # this runs once per generated instruction.
+        op_class = self.op_class
         if self.latency is None:
-            self.latency = default_latency(self.op_class)
-        if self.op_class.is_branch:
+            self.latency = default_latency(op_class)
+        if op_class is OpClass.BRANCH:
             self.is_branch = True
-        if self.op_class.is_memory and self.mem_address is None:
+        if ((op_class is OpClass.LOAD or op_class is OpClass.STORE)
+                and self.mem_address is None):
             self.mem_address = 0
 
     @property

@@ -19,6 +19,13 @@ from dataclasses import dataclass
 class OpClass(enum.Enum):
     """Coarse operation class; determines functional unit and latency."""
 
+    # ``Enum.__hash__`` is a Python-level function (it hashes the member
+    # name); op classes key several dictionaries on the simulator's
+    # per-instruction path, so use the C-level identity hash instead.
+    # Members are singletons (equality is identity), so this is
+    # consistent; only hash *values* change, never lookup results.
+    __hash__ = object.__hash__
+
     INT_ALU = "int_alu"
     INT_MUL = "int_mul"
     INT_DIV = "int_div"

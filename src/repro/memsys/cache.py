@@ -73,34 +73,42 @@ class CacheModel:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        # Geometry/timing hoisted out of the per-access path, plus shared
+        # result objects for the two timing-identical outcomes (the
+        # results are frozen, so sharing them is safe).
+        self._line_bytes = self.config.line_bytes
+        self._num_sets = self.config.num_sets
+        self._is_writeback = self.config.writeback
+        self._hit_result = AccessResult(hit=True, latency=self.config.hit_latency)
+        self._miss_result = AccessResult(hit=False, latency=self.config.miss_latency)
 
     # ------------------------------------------------------------------
 
     def _locate(self, address: int) -> tuple[int, int]:
-        line = address // self.config.line_bytes
-        set_index = line % self.config.num_sets
-        tag = line // self.config.num_sets
+        line = address // self._line_bytes
+        set_index = line % self._num_sets
+        tag = line // self._num_sets
         return set_index, tag
 
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Access ``address``; returns hit/miss and the access latency."""
         self._lru_clock += 1
-        set_index, tag = self._locate(address)
-        cache_set = self._sets[set_index]
-        line = cache_set.get(tag)
+        line_index = address // self._line_bytes
+        cache_set = self._sets[line_index % self._num_sets]
+        line = cache_set.get(line_index // self._num_sets)
         if line is not None:
             line.lru = self._lru_clock
-            if is_write and self.config.writeback:
+            if is_write and self._is_writeback:
                 line.dirty = True
             self.hits += 1
-            return AccessResult(hit=True, latency=self.config.hit_latency)
+            return self._hit_result
 
         self.misses += 1
-        victim_dirty = self._fill(cache_set, tag, is_write)
-        latency = (
-            self.config.dirty_miss_latency if victim_dirty else self.config.miss_latency
-        )
-        return AccessResult(hit=False, latency=latency, writeback=victim_dirty)
+        victim_dirty = self._fill(cache_set, line_index // self._num_sets, is_write)
+        if not victim_dirty:
+            return self._miss_result
+        return AccessResult(hit=False, latency=self.config.dirty_miss_latency,
+                            writeback=True)
 
     def probe(self, address: int) -> bool:
         """Return whether ``address`` currently hits, without updating state."""

@@ -16,7 +16,7 @@ from typing import Optional
 from repro.errors import ConfigurationError, SimulationError
 
 
-@dataclass
+@dataclass(slots=True)
 class LSQEntry:
     """One load or store tracked by the queue."""
 

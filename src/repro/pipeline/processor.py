@@ -11,6 +11,16 @@ stream (correct path only) and models timing.  Branch mispredictions
 therefore stall fetch from the mispredicted branch until it resolves,
 charging the full front-end refill penalty, which is the standard
 trace-driven modelling approach.
+
+Implementation note: ``run`` is the hottest loop of the repository — the
+whole experiment harness is bounded by it — so the stage methods trade a
+little indirection for speed: collaborator dictionaries that are never
+rebound (issue window entries, ROB entries, scoreboard states) are read
+directly, operand planning reuses preallocated per-class access lists
+instead of building dictionaries, and stages are skipped outright on the
+cycles where their input queues are provably empty.  Every change here is
+guarded by the golden-stats parity tests (``tests/test_golden_stats.py``):
+optimizations must leave ``SimulationStats`` bit-identical.
 """
 
 from __future__ import annotations
@@ -38,7 +48,7 @@ from repro.regfile.base import OperandAccess, OperandSource, RegisterFileModel
 from repro.rename.renamer import PhysicalRegister, RenamedInstruction, Renamer
 
 
-@dataclass
+@dataclass(slots=True)
 class _Completion:
     """An instruction scheduled to complete (write back) at a given cycle."""
 
@@ -70,6 +80,8 @@ class Processor:
             raise ConfigurationError(
                 "integer and FP register files must share the same timing"
             )
+        self._int_rf = int_rf
+        self._fp_rf = fp_rf
         self.read_stages = int_rf.read_stages
         self.bypass = BypassNetwork(int_rf.read_stages, int_rf.bypass_levels)
 
@@ -94,6 +106,16 @@ class Processor:
         self._decode_queue: deque[FetchedInstruction] = deque()
         self._completions: Dict[int, List[_Completion]] = {}
 
+        # Collaborator dictionaries that are mutated in place and never
+        # rebound (scoreboard states, ROB entries), plus reusable operand
+        # planning slots: one issue attempt fills these in place instead of
+        # allocating a per-attempt {register class -> accesses} dictionary.
+        self._sb_states = self.scoreboard._states
+        self._rob_entries = self.rob._entries
+        self._int_accesses: List[OperandAccess] = []
+        self._fp_accesses: List[OperandAccess] = []
+        self._missing_operands: List[PhysicalRegister] = []
+
         self.stats = SimulationStats(
             benchmark=benchmark_name,
             architecture=int_rf.describe(),
@@ -112,7 +134,7 @@ class Processor:
             self.scoreboard.seed_architected(physical)
 
     def _regfile(self, register: PhysicalRegister) -> RegisterFileModel:
-        return self._regfiles[register.reg_class]
+        return self._int_rf if register.reg_class is RegisterClass.INT else self._fp_rf
 
     # ------------------------------------------------------------------
     # main loop
@@ -120,85 +142,149 @@ class Processor:
 
     def run(self) -> SimulationStats:
         """Run the simulation to completion and return the statistics."""
+        config = self.config
+        stats = self.stats
+        max_cycles = config.effective_max_cycles
+        max_instructions = config.max_instructions
+        fetch_unit = self.fetch_unit
+        decode_queue = self._decode_queue
+        completions = self._completions
+        # Collaborator dictionaries; both are mutated in place and never
+        # rebound, so the emptiness checks below stay valid.
+        rob_entries = self._rob_entries
+        window_entries = self.window._entries
+        int_begin = self._int_rf.begin_cycle
+        fp_begin = self._fp_rf.begin_cycle
+        fu_begin = self.fu_pool.begin_cycle
+        commit_stage = self._commit_stage
+        writeback_stage = self._writeback_stage
+        issue_stage = self._issue_stage
+        dispatch_stage = self._dispatch_stage
+        fetch_stage = self._fetch_stage
+        # Occupancy sampling is resolved once, outside the loop: when it
+        # is disabled (the default) the per-cycle cost is literally zero.
+        sample_occupancy = (
+            self._sample_occupancy if config.collect_occupancy else None
+        )
+
+        # The termination conditions are evaluated exactly once per
+        # simulated cycle, after that cycle's work: the final loop pass
+        # can therefore not inflate ``stats.cycles``, which ends up being
+        # exactly the number of cycles whose stages ran.
         cycle = 0
-        max_cycles = self.config.effective_max_cycles
         while True:
-            if self.stats.committed_instructions >= self.config.max_instructions:
-                break
-            if (
-                self.fetch_unit.exhausted
-                and not self._decode_queue
-                and self.rob.empty
-            ):
-                break
             if cycle > max_cycles:
                 raise SimulationError(
                     f"simulation exceeded {max_cycles} cycles "
-                    f"({self.stats.committed_instructions} instructions committed); "
+                    f"({stats.committed_instructions} instructions committed); "
                     "likely a livelock in the pipeline model"
                 )
 
-            for regfile in self._regfiles.values():
-                regfile.begin_cycle(cycle)
-            self.fu_pool.begin_cycle(cycle)
+            int_begin(cycle)
+            fp_begin(cycle)
+            fu_begin(cycle)
 
-            self._commit_stage(cycle)
-            self._writeback_stage(cycle)
-            self._issue_stage(cycle)
-            self._dispatch_stage(cycle)
-            self._fetch_stage(cycle)
+            if rob_entries:
+                commit_stage(cycle)
+            if cycle in completions:
+                writeback_stage(cycle)
+            if window_entries:
+                issue_stage(cycle)
+            if decode_queue:
+                dispatch_stage(cycle)
+            if not fetch_unit.exhausted:
+                fetch_stage(cycle)
 
-            if self.config.collect_occupancy:
-                self._sample_occupancy(cycle)
+            if sample_occupancy is not None:
+                sample_occupancy(cycle)
 
             cycle += 1
+            if stats.committed_instructions >= max_instructions:
+                break
+            if fetch_unit.exhausted and not decode_queue and not rob_entries:
+                break
 
-        self.stats.cycles = cycle
+        stats.cycles = cycle
         self._finalize_statistics()
-        return self.stats
+        return stats
 
     # ------------------------------------------------------------------
     # commit
     # ------------------------------------------------------------------
 
     def _commit_stage(self, cycle: int) -> None:
-        for rob_entry in self.rob.committable(self.config.commit_width, cycle):
-            if self.stats.committed_instructions >= self.config.max_instructions:
+        stats = self.stats
+        max_instructions = self.config.max_instructions
+        rob = self.rob
+        rob_entries = self._rob_entries
+        renamer = self.renamer
+        scoreboard = self.scoreboard
+        sb_states = self._sb_states
+        lsq = self.lsq
+        value_reads = stats.value_read_distribution
+        for rob_entry in rob.committable(self.config.commit_width, cycle):
+            if stats.committed_instructions >= max_instructions:
                 return
-            self.rob.commit(rob_entry.seq)
             renamed = rob_entry.renamed
-            released = self.renamer.commit(renamed)
-            if released is not None and self.scoreboard.contains(released):
-                state = self.scoreboard.get(released)
-                total_reads = (
-                    state.reads_from_bypass + state.reads_from_upper + state.reads_from_lower
-                )
-                self.stats.record_value_reads(total_reads)
-                self.scoreboard.release(released)
-                self._regfile(released).release(released)
             instruction = renamed.instruction
-            if instruction.is_store:
+            # Inlined ``rob.commit``: the committable entries are the head
+            # run of the ROB, popped here in program order.
+            head_seq, _ = rob_entries.popitem(last=False)
+            if head_seq != instruction.seq:
+                raise SimulationError(
+                    f"commit out of order: head is {head_seq}, got {instruction.seq}"
+                )
+            released = renamer.commit(renamed)
+            if released is not None:
+                state = sb_states.get(released)
+                if state is not None:
+                    total_reads = (
+                        state.reads_from_bypass
+                        + state.reads_from_upper
+                        + state.reads_from_lower
+                    )
+                    value_reads[total_reads] += 1
+                    scoreboard.release(released)
+                    self._regfile(released).release(released)
+            op_class = instruction.op_class
+            if op_class is OpClass.STORE:
                 self.dcache.access(instruction.mem_address or 0, is_write=True)
-                self.lsq.release(instruction.seq)
-            elif instruction.is_load:
-                self.lsq.release(instruction.seq)
-            self.stats.committed_instructions += 1
+                lsq.release(instruction.seq)
+            elif op_class is OpClass.LOAD:
+                lsq.release(instruction.seq)
+            stats.committed_instructions += 1
 
     # ------------------------------------------------------------------
     # write-back / completion
     # ------------------------------------------------------------------
 
     def _writeback_stage(self, cycle: int) -> None:
-        completions = self._completions.pop(cycle, [])
+        completions = self._completions.pop(cycle, None)
+        if completions is None:
+            return
+        sb_states = self._sb_states
+        window = self.window
+        rob_entries = self._rob_entries
+        stats = self.stats
         for completion in completions:
             renamed = completion.renamed
             instruction = renamed.instruction
-            if renamed.dest is not None:
-                state = self.scoreboard.get(renamed.dest)
-                regfile = self._regfile(renamed.dest)
-                rf_ready = regfile.writeback(renamed.dest, state, cycle, self.window)
-                self.scoreboard.set_rf_ready(renamed.dest, rf_ready)
-            self.rob.mark_completed(instruction.seq, cycle)
+            dest = renamed.dest
+            if dest is not None:
+                try:
+                    state = sb_states[dest]
+                except KeyError:
+                    raise SimulationError(f"no scoreboard state for {dest}") from None
+                regfile = self._int_rf if dest.reg_class is RegisterClass.INT else self._fp_rf
+                rf_ready = regfile.writeback(dest, state, cycle, window)
+                state.rf_ready_cycle = rf_ready
+                state.written_back = True
+            # Inlined ``rob.mark_completed``.
+            rob_entry = rob_entries.get(instruction.seq)
+            if rob_entry is None:
+                raise SimulationError(f"no ROB entry for seq {instruction.seq}")
+            rob_entry.completed = True
+            rob_entry.complete_cycle = cycle
 
             if instruction.is_branch and completion.fetched is not None:
                 fetched = completion.fetched
@@ -209,7 +295,7 @@ class Processor:
                     fetched.predicted_taken,
                 )
                 if fetched.mispredicted:
-                    self.stats.branch_mispredictions += 1
+                    stats.branch_mispredictions += 1
                 self.fetch_unit.branch_resolved(instruction.seq, completion.ex_end_cycle)
 
     # ------------------------------------------------------------------
@@ -217,65 +303,85 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _issue_stage(self, cycle: int) -> None:
+        issue_width = self.config.issue_width
+        try_issue = self._try_issue
         issued = 0
         for entry in self.window.schedulable(cycle):
-            if issued >= self.config.issue_width:
-                break
-            if self._try_issue(entry, cycle):
+            if try_issue(entry, cycle):
                 issued += 1
+                if issued >= issue_width:
+                    break
 
     def _try_issue(self, entry: IssueQueueEntry, cycle: int) -> bool:
-        instruction = entry.renamed.instruction
+        renamed = entry.renamed
+        instruction = renamed.instruction
         op_class = instruction.op_class
+        window = self.window
 
-        if instruction.is_load and not self.lsq.load_may_issue(instruction.seq):
-            self.window.defer(entry, cycle + 1)
+        if op_class is OpClass.LOAD and not self.lsq.load_may_issue(instruction.seq):
+            window.defer(entry, cycle + 1)
             return False
 
-        accesses_by_class, missing, deferred = self._plan_operands(entry, cycle)
-        if deferred:
-            return False
+        # Operand read planning into the reusable per-class slot lists
+        # (the former per-attempt dictionary was pure allocation churn).
+        int_rf = self._int_rf
+        fp_rf = self._fp_rf
+        int_accesses = self._int_accesses
+        fp_accesses = self._fp_accesses
+        missing = self._missing_operands
+        int_accesses.clear()
+        fp_accesses.clear()
+        missing.clear()
+        sb_states = self._sb_states
+        for register in renamed.sources:
+            try:
+                state = sb_states[register]
+            except KeyError:
+                raise SimulationError(f"no scoreboard state for {register}") from None
+            is_int = register.reg_class is RegisterClass.INT
+            access = (int_rf if is_int else fp_rf).plan_operand_read(
+                register, state, cycle
+            )
+            source = access.source
+            if source is OperandSource.NOT_READY:
+                retry = access.retry_cycle
+                if retry is None or retry < cycle + 1:
+                    retry = cycle + 1
+                window.defer(entry, retry)
+                return False
+            access.state = state
+            if source is OperandSource.MISS:
+                missing.append(register)
+            elif is_int:
+                int_accesses.append(access)
+            else:
+                fp_accesses.append(access)
+
         if missing:
-            self._handle_upper_level_misses(entry, missing, accesses_by_class, cycle)
+            self._handle_upper_level_misses(
+                entry, missing, int_accesses, fp_accesses, cycle
+            )
             return False
 
         if not self.fu_pool.can_issue(op_class, cycle):
             self.stats.issue_stalls_fu += 1
             return False
-        for reg_class, accesses in accesses_by_class.items():
-            if accesses and not self._regfiles[reg_class].can_claim_reads(accesses):
-                self.stats.issue_stalls_ports += 1
-                return False
+        if int_accesses and not int_rf.can_claim_reads(int_accesses):
+            self.stats.issue_stalls_ports += 1
+            return False
+        if fp_accesses and not fp_rf.can_claim_reads(fp_accesses):
+            self.stats.issue_stalls_ports += 1
+            return False
 
-        self._do_issue(entry, accesses_by_class, cycle)
+        self._do_issue(entry, int_accesses, fp_accesses, cycle)
         return True
-
-    def _plan_operands(
-        self, entry: IssueQueueEntry, cycle: int
-    ) -> tuple[Dict[RegisterClass, List[OperandAccess]], List[PhysicalRegister], bool]:
-        accesses_by_class: Dict[RegisterClass, List[OperandAccess]] = {
-            RegisterClass.INT: [],
-            RegisterClass.FP: [],
-        }
-        missing: List[PhysicalRegister] = []
-        for register in entry.renamed.sources:
-            state = self.scoreboard.get(register)
-            access = self._regfile(register).plan_operand_read(register, state, cycle)
-            if access.source is OperandSource.NOT_READY:
-                retry = access.retry_cycle if access.retry_cycle is not None else cycle + 1
-                self.window.defer(entry, max(cycle + 1, retry))
-                return accesses_by_class, [], True
-            if access.source is OperandSource.MISS:
-                missing.append(register)
-                continue
-            accesses_by_class[register.reg_class].append(access)
-        return accesses_by_class, missing, False
 
     def _handle_upper_level_misses(
         self,
         entry: IssueQueueEntry,
         missing: List[PhysicalRegister],
-        accesses_by_class: Dict[RegisterClass, List[OperandAccess]],
+        int_accesses: List[OperandAccess],
+        fp_accesses: List[OperandAccess],
         cycle: int,
     ) -> None:
         """Fetch-on-demand: bring missing operands up over the buses.
@@ -288,7 +394,7 @@ class Processor:
         self.stats.issue_stalls_fill += 1
         is_oldest = self.window.oldest_seq() == entry.seq
         if is_oldest:
-            for accesses in accesses_by_class.values():
+            for accesses in (int_accesses, fp_accesses):
                 for access in accesses:
                     if access.source is OperandSource.FILE:
                         self._regfile(access.register).pin_operand(access.register)
@@ -308,130 +414,182 @@ class Processor:
     def _do_issue(
         self,
         entry: IssueQueueEntry,
-        accesses_by_class: Dict[RegisterClass, List[OperandAccess]],
+        int_accesses: List[OperandAccess],
+        fp_accesses: List[OperandAccess],
         cycle: int,
     ) -> None:
-        instruction = entry.renamed.instruction
-        for reg_class, accesses in accesses_by_class.items():
-            if not accesses:
-                continue
-            self._regfiles[reg_class].claim_reads(accesses)
-            for access in accesses:
-                if access.source is OperandSource.BYPASS:
-                    self.scoreboard.record_read(access.register, "bypass")
-                    self.bypass.record_bypass_read()
-                    self.stats.operands_from_bypass += 1
-                else:
-                    self.scoreboard.record_read(access.register, "upper")
-                    self.bypass.record_regfile_read()
-                    self.stats.operands_from_file += 1
+        renamed = entry.renamed
+        instruction = renamed.instruction
+        op_class = instruction.op_class
+        stats = self.stats
+        bypass = self.bypass
+        window = self.window
+        if int_accesses:
+            self._int_rf.claim_reads(int_accesses)
+            self._record_operand_reads(int_accesses, stats, bypass)
+        if fp_accesses:
+            self._fp_rf.claim_reads(fp_accesses)
+            self._record_operand_reads(fp_accesses, stats, bypass)
 
         latency = self._execution_latency(instruction)
-        self.fu_pool.issue(instruction.op_class, cycle, latency)
+        self.fu_pool.issue(op_class, cycle, latency)
 
         ex_start = cycle + self.read_stages
         ex_end = ex_start + latency - 1
+        seq = instruction.seq
 
-        self.window.mark_issued(entry, cycle)
-        self.rob.mark_issued(instruction.seq, cycle)
+        window.mark_issued(entry, cycle)
+        # Inlined ``rob.mark_issued``.
+        rob_entry = self._rob_entries.get(seq)
+        if rob_entry is None:
+            raise SimulationError(f"no ROB entry for seq {seq}")
+        rob_entry.issue_cycle = cycle
 
-        if instruction.op_class.is_memory and instruction.mem_address is not None:
-            self.lsq.set_address(instruction.seq, instruction.mem_address)
+        if ((op_class is OpClass.LOAD or op_class is OpClass.STORE)
+                and instruction.mem_address is not None):
+            self.lsq.set_address(seq, instruction.mem_address)
 
-        if entry.renamed.dest is not None:
-            self.scoreboard.set_execution_end(entry.renamed.dest, ex_end)
-            self.window.wakeup(entry.renamed.dest, ex_end)
-            self._regfile(entry.renamed.dest).on_issue(
-                entry, cycle, self.window, self.scoreboard
-            )
+        dest = renamed.dest
+        if dest is not None:
+            try:
+                state = self._sb_states[dest]
+            except KeyError:
+                raise SimulationError(f"no scoreboard state for {dest}") from None
+            state.ex_end_cycle = ex_end
+            window.wakeup(dest, ex_end)
+            regfile = self._int_rf if dest.reg_class is RegisterClass.INT else self._fp_rf
+            regfile.on_issue(entry, cycle, window, self.scoreboard)
 
-        fetched = entry.renamed.annotations.get("fetched")
-        completion = _Completion(renamed=entry.renamed, ex_end_cycle=ex_end, fetched=fetched)
-        self._completions.setdefault(ex_end + 1, []).append(completion)
+        fetched = renamed.annotations.get("fetched")
+        completion = _Completion(renamed=renamed, ex_end_cycle=ex_end, fetched=fetched)
+        bucket = self._completions.get(ex_end + 1)
+        if bucket is None:
+            self._completions[ex_end + 1] = [completion]
+        else:
+            bucket.append(completion)
+
+    @staticmethod
+    def _record_operand_reads(accesses, stats, bypass) -> None:
+        """Consumer-side read bookkeeping (inlined scoreboard updates)."""
+        for access in accesses:
+            state = access.state
+            if access.source is OperandSource.BYPASS:
+                state.consumed_via_bypass = True
+                state.reads_from_bypass += 1
+                bypass.operands_from_bypass += 1
+                stats.operands_from_bypass += 1
+            else:
+                state.reads_from_upper += 1
+                bypass.operands_from_regfile += 1
+                stats.operands_from_file += 1
 
     def _execution_latency(self, instruction: DynamicInstruction) -> int:
-        latency = instruction.latency or 1
-        if instruction.op_class is OpClass.LOAD:
+        op_class = instruction.op_class
+        if op_class is OpClass.LOAD:
             address = instruction.mem_address or 0
             forwarding = self.lsq.forwarding_store(instruction.seq, address)
             if forwarding is not None:
                 return 2  # address generation + forward from the store queue
             access = self.dcache.access(address)
             return 1 + access.latency
-        if instruction.op_class is OpClass.STORE:
+        if op_class is OpClass.STORE:
             return 1  # address generation; data is written at commit
-        return latency
+        return instruction.latency or 1
 
     # ------------------------------------------------------------------
     # decode / rename / dispatch
     # ------------------------------------------------------------------
 
     def _dispatch_stage(self, cycle: int) -> None:
+        decode_queue = self._decode_queue
+        stats = self.stats
+        decode_width = self.config.decode_width
+        rob = self.rob
+        rob_entries = self._rob_entries
+        rob_capacity = rob.capacity
+        window = self.window
+        window_entries = window._entries
+        window_capacity = window.capacity
+        lsq = self.lsq
+        renamer = self.renamer
+        scoreboard = self.scoreboard
         dispatched = 0
-        while self._decode_queue and dispatched < self.config.decode_width:
-            fetched = self._decode_queue[0]
+        while decode_queue and dispatched < decode_width:
+            fetched = decode_queue[0]
             if fetched.fetch_cycle >= cycle:
                 break  # still in the decode stage
             instruction = fetched.instruction
-            if self.rob.full:
-                self.stats.dispatch_stalls_rob += 1
+            op_class = instruction.op_class
+            is_memory = op_class is OpClass.LOAD or op_class is OpClass.STORE
+            if len(rob_entries) >= rob_capacity:
+                stats.dispatch_stalls_rob += 1
                 break
-            if self.window.full:
-                self.stats.dispatch_stalls_window += 1
+            if len(window_entries) >= window_capacity:
+                stats.dispatch_stalls_window += 1
                 break
-            if instruction.op_class.is_memory and self.lsq.full:
-                self.stats.dispatch_stalls_lsq += 1
+            if is_memory and lsq.full:
+                stats.dispatch_stalls_lsq += 1
                 break
-            if not self.renamer.can_rename(instruction):
-                self.stats.dispatch_stalls_registers += 1
+            if not renamer.can_rename(instruction):
+                stats.dispatch_stalls_registers += 1
                 break
 
-            self._decode_queue.popleft()
-            renamed = self.renamer.rename(instruction)
+            decode_queue.popleft()
+            renamed = renamer.rename(instruction)
             renamed.annotations["fetched"] = fetched
             if renamed.dest is not None:
-                self.scoreboard.allocate(renamed.dest, instruction.seq)
-            self.rob.dispatch(renamed, cycle)
-            self.window.dispatch(renamed, cycle)
-            if instruction.op_class.is_memory:
-                self.lsq.insert(instruction.seq, instruction.is_store)
-                if instruction.is_store and instruction.mem_address is not None:
+                scoreboard.allocate(renamed.dest, instruction.seq)
+            rob.dispatch(renamed, cycle)
+            window.dispatch(renamed, cycle)
+            if is_memory:
+                is_store = op_class is OpClass.STORE
+                lsq.insert(instruction.seq, is_store)
+                if is_store and instruction.mem_address is not None:
                     # Store addresses are produced by the address-generation
                     # part of the store, which does not wait for the store
                     # data; the stream already carries the effective
                     # address, so younger loads are only delayed by real
                     # same-address conflicts (store→load forwarding).
-                    self.lsq.set_address(instruction.seq, instruction.mem_address)
+                    lsq.set_address(instruction.seq, instruction.mem_address)
             dispatched += 1
 
-        self.stats.max_window_occupancy = max(
-            self.stats.max_window_occupancy, self.window.occupancy()
-        )
-        self.stats.max_rob_occupancy = max(self.stats.max_rob_occupancy, self.rob.occupancy())
-        self.stats.max_int_registers_in_use = max(
-            self.stats.max_int_registers_in_use,
-            self.renamer.in_use_registers(RegisterClass.INT),
-        )
-        self.stats.max_fp_registers_in_use = max(
-            self.stats.max_fp_registers_in_use,
-            self.renamer.in_use_registers(RegisterClass.FP),
-        )
+        if dispatched:
+            # Occupancies and registers-in-use only grow at dispatch, so
+            # the maxima are attained right here; cycles without a
+            # dispatch cannot set a new maximum.
+            occupancy = window.occupancy()
+            if occupancy > stats.max_window_occupancy:
+                stats.max_window_occupancy = occupancy
+            rob_occupancy = rob.occupancy()
+            if rob_occupancy > stats.max_rob_occupancy:
+                stats.max_rob_occupancy = rob_occupancy
+            int_in_use = renamer.in_use_registers(RegisterClass.INT)
+            if int_in_use > stats.max_int_registers_in_use:
+                stats.max_int_registers_in_use = int_in_use
+            fp_in_use = renamer.in_use_registers(RegisterClass.FP)
+            if fp_in_use > stats.max_fp_registers_in_use:
+                stats.max_fp_registers_in_use = fp_in_use
 
     # ------------------------------------------------------------------
     # fetch
     # ------------------------------------------------------------------
 
     def _fetch_stage(self, cycle: int) -> None:
-        if len(self._decode_queue) >= self.config.fetch_buffer_size:
+        decode_queue = self._decode_queue
+        if len(decode_queue) >= self.config.fetch_buffer_size:
             return
-        if self.fetch_unit.exhausted:
+        fetch_unit = self.fetch_unit
+        if fetch_unit.exhausted:
             return
-        group = self.fetch_unit.fetch(cycle)
+        group = fetch_unit.fetch(cycle)
+        if not group:
+            return
+        stats = self.stats
         for fetched in group:
-            self._decode_queue.append(fetched)
+            decode_queue.append(fetched)
             if fetched.instruction.is_branch:
-                self.stats.branch_predictions += 1
-        self.stats.fetched_instructions += len(group)
+                stats.branch_predictions += 1
+        stats.fetched_instructions += len(group)
 
     # ------------------------------------------------------------------
     # statistics
@@ -440,11 +598,14 @@ class Processor:
     def _sample_occupancy(self, cycle: int) -> None:
         needed: set[PhysicalRegister] = set()
         ready: set[PhysicalRegister] = set()
-        for entry in self.window.entries():
+        sb_states = self._sb_states
+        for entry in self.window._entries.values():
             produced_sources = []
             all_produced = True
             for register in entry.renamed.sources:
-                state = self.scoreboard.get(register)
+                state = sb_states.get(register)
+                if state is None:
+                    raise SimulationError(f"no scoreboard state for {register}")
                 if state.ex_end_cycle is not None and state.ex_end_cycle <= cycle:
                     produced_sources.append(register)
                 else:

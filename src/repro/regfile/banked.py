@@ -53,6 +53,11 @@ class OneLevelBankedRegisterFile(RegisterFileModel):
             for i in range(num_banks)
         ]
         self.name = name or f"one-level banked x{num_banks}"
+        # Preallocated per-bank demand counters for port arbitration; the
+        # scratch arrays replace a dictionary allocated per issue attempt
+        # and are always reset to zero/empty before returning.
+        self._bank_demand = [0] * num_banks
+        self._banks_touched: list[int] = []
         # statistics
         self.reads_from_bypass = 0
         self.reads_from_banks = 0
@@ -68,7 +73,7 @@ class OneLevelBankedRegisterFile(RegisterFileModel):
     def begin_cycle(self, cycle: int) -> None:
         for ports in self._read_ports:
             ports.begin_cycle()
-        if cycle % 1024 == 0:
+        if not cycle & 1023:
             for scheduler in self._writes:
                 scheduler.forget_before(cycle)
 
@@ -85,33 +90,48 @@ class OneLevelBankedRegisterFile(RegisterFileModel):
             return OperandAccess(
                 register, OperandSource.NOT_READY, retry_cycle=state.ex_end_cycle
             )
-        bank = self.bank_of(register)
+        bank = register.index % self.num_banks
         if state.rf_ready_cycle is not None and issue_cycle >= state.rf_ready_cycle:
             return OperandAccess(register, OperandSource.FILE, bank=bank)
         return OperandAccess(register, OperandSource.BYPASS, bank=bank)
 
     def can_claim_reads(self, accesses: Sequence[OperandAccess]) -> bool:
-        needed_per_bank: dict[int, int] = {}
+        demand = self._bank_demand
+        touched = self._banks_touched
         for access in accesses:
             if access.source is OperandSource.FILE:
-                needed_per_bank[access.bank] = needed_per_bank.get(access.bank, 0) + 1
-        for bank, needed in needed_per_bank.items():
-            if not self._read_ports[bank].available_capped(needed):
+                bank = access.bank
+                if demand[bank] == 0:
+                    touched.append(bank)
+                demand[bank] += 1
+        ok = True
+        for bank in touched:
+            if ok and not self._read_ports[bank].available_capped(demand[bank]):
                 self.read_port_stalls += 1
                 self.bank_conflicts += 1
-                return False
-        return True
+                ok = False
+            demand[bank] = 0
+        touched.clear()
+        return ok
 
     def claim_reads(self, accesses: Sequence[OperandAccess]) -> None:
-        needed_per_bank: dict[int, int] = {}
+        demand = self._bank_demand
+        touched = self._banks_touched
         for access in accesses:
-            if access.source is OperandSource.FILE:
-                needed_per_bank[access.bank] = needed_per_bank.get(access.bank, 0) + 1
+            source = access.source
+            if source is OperandSource.FILE:
+                bank = access.bank
+                if demand[bank] == 0:
+                    touched.append(bank)
+                demand[bank] += 1
                 self.reads_from_banks += 1
-            elif access.source is OperandSource.BYPASS:
+            elif source is OperandSource.BYPASS:
                 self.reads_from_bypass += 1
-        for bank, needed in needed_per_bank.items():
+        for bank in touched:
+            needed = demand[bank]
+            demand[bank] = 0
             self._read_ports[bank].claim_capped(needed)
+        touched.clear()
 
     # ------------------------------------------------------------------
 

@@ -60,6 +60,9 @@ class OperandAccess:
     bank: int = 0
     #: Earliest cycle at which re-planning could succeed (hint only).
     retry_cycle: Optional[int] = None
+    #: Scoreboard state of the register, attached by the pipeline while
+    #: planning so the issue bookkeeping needs no second scoreboard lookup.
+    state: Optional[ValueState] = None
 
     @property
     def issuable(self) -> bool:

@@ -69,6 +69,10 @@ class RegisterFileCache(RegisterFileModel):
         # level; the bus is busy for the whole transfer.
         self.buses = TransferBusSet(num_buses, transfer_latency=lower_read_latency + 1)
         self._upper: PseudoLRU[PhysicalRegister] = PseudoLRU(upper_capacity)
+        # Direct view of the upper level's residency dictionary (never
+        # rebound): issue-side residency checks run several times per
+        # instruction and skip the ``__contains__`` call this way.
+        self._upper_slots = self._upper._slot_of
         self._pending_fills: Dict[PhysicalRegister, int] = {}
         #: Registers pinned until read because the oldest waiting instruction
         #: needs them.  Pinned entries are never evicted; since at most the
@@ -99,11 +103,13 @@ class RegisterFileCache(RegisterFileModel):
 
     def begin_cycle(self, cycle: int) -> None:
         self.upper_read_ports.begin_cycle()
-        completed = [reg for reg, done in self._pending_fills.items() if done <= cycle]
-        for register in completed:
-            del self._pending_fills[register]
-            self._insert_upper(register, cycle)
-        if cycle % 1024 == 0:
+        pending = self._pending_fills
+        if pending:
+            completed = [reg for reg, done in pending.items() if done <= cycle]
+            for register in completed:
+                del pending[register]
+                self._insert_upper(register, cycle)
+        if not cycle & 1023:
             self.lower_writes.forget_before(cycle)
             self.upper_result_writes.forget_before(cycle)
 
@@ -142,7 +148,7 @@ class RegisterFileCache(RegisterFileModel):
             # The single bypass level catches results exactly one cycle
             # after the producer finishes.
             return OperandAccess(register, OperandSource.BYPASS)
-        if register in self._upper:
+        if register in self._upper_slots:
             # Mark the entry hot: the instruction planning this read may be
             # waiting for another operand, and this copy must survive until
             # both are available.
@@ -168,16 +174,20 @@ class RegisterFileCache(RegisterFileModel):
 
     def claim_reads(self, accesses: Sequence[OperandAccess]) -> None:
         needed = 0
+        upper_slots = self._upper_slots
+        read_pinned = self._read_pinned
         for access in accesses:
-            if access.source is OperandSource.FILE:
+            source = access.source
+            if source is OperandSource.FILE:
                 needed += 1
                 self.reads_from_upper += 1
-                if access.register in self._upper:
-                    self._upper.touch(access.register)
-                self._read_pinned.discard(access.register)
-            elif access.source is OperandSource.BYPASS:
+                register = access.register
+                if register in upper_slots:
+                    self._upper.touch(register)
+                read_pinned.discard(register)
+            elif source is OperandSource.BYPASS:
                 self.reads_from_bypass += 1
-                self._read_pinned.discard(access.register)
+                read_pinned.discard(access.register)
         if needed:
             self.upper_read_ports.claim_capped(needed)
 

@@ -62,7 +62,7 @@ class SingleBankedRegisterFile(RegisterFileModel):
 
     def begin_cycle(self, cycle: int) -> None:
         self.read_ports.begin_cycle()
-        if cycle % 1024 == 0:
+        if not cycle & 1023:
             self.writes.forget_before(cycle)
 
     # ------------------------------------------------------------------

@@ -145,5 +145,7 @@ class WriteScheduler:
 
     def forget_before(self, cycle: int) -> None:
         """Drop bookkeeping for cycles before ``cycle`` (keeps memory flat)."""
+        if not self._scheduled:
+            return
         for key in [c for c in self._scheduled if c < cycle]:
             del self._scheduled[key]

@@ -25,8 +25,26 @@ class PseudoLRU(Generic[KeyT]):
             raise ConfigurationError("PseudoLRU capacity must be a positive power of two")
         self.capacity = capacity
         self._bits: List[int] = [0] * max(1, capacity - 1)
+        #: Resident keys -> slot.  Never rebound; the register file cache
+        #: reads it directly for residency checks.
         self._slot_of: Dict[KeyT, int] = {}
         self._key_at: List[Optional[KeyT]] = [None] * capacity
+        # The tree path touched for each slot is fixed by the geometry;
+        # precompute the (node, bit) updates so a touch is straight-line
+        # stores instead of per-level interval arithmetic.
+        self._touch_paths: List[tuple] = []
+        for slot in range(capacity):
+            path = []
+            node, low, high = 0, 0, capacity
+            while high - low > 1:
+                mid = (low + high) // 2
+                if slot < mid:
+                    path.append((node, 1))  # cold side is the right half
+                    node, high = 2 * node + 1, mid
+                else:
+                    path.append((node, 0))  # cold side is the left half
+                    node, low = 2 * node + 2, mid
+            self._touch_paths.append(tuple(path))
 
     # ------------------------------------------------------------------
 
@@ -47,21 +65,9 @@ class PseudoLRU(Generic[KeyT]):
 
     def _touch_slot(self, slot: int) -> None:
         """Flip the tree bits along the path so they point away from ``slot``."""
-        if self.capacity == 1:
-            return
-        node = 0
-        low, high = 0, self.capacity
-        while high - low > 1:
-            mid = (low + high) // 2
-            if slot < mid:
-                self._bits[node] = 1  # cold side is the right half
-                node = 2 * node + 1
-                high = mid
-            else:
-                self._bits[node] = 0  # cold side is the left half
-                node = 2 * node + 2
-                low = mid
-        del node
+        bits = self._bits
+        for node, bit in self._touch_paths[slot]:
+            bits[node] = bit
 
     def _victim_slot(self) -> int:
         """Follow the bits to the pseudo-least-recently-used slot."""

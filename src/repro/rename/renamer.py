@@ -34,12 +34,25 @@ class PhysicalRegister:
     reg_class: RegisterClass
     index: int
 
+    def __post_init__(self) -> None:
+        # Physical registers key the scoreboard, the wakeup/consumer
+        # indexes and the register-file-cache structures — the hottest
+        # dictionaries in the simulator.  The generated dataclass hash
+        # allocates a tuple per call; cache an equality-consistent
+        # integer instead.
+        object.__setattr__(
+            self, "_hash", (self.index << 1) | (self.reg_class is RegisterClass.FP)
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         prefix = "p" if self.reg_class is RegisterClass.INT else "pf"
         return f"{prefix}{self.index}"
 
 
-@dataclass
+@dataclass(slots=True)
 class RenamedInstruction:
     """A dynamic instruction after renaming."""
 
@@ -82,6 +95,21 @@ class Renamer:
                 range(len(logicals), count), valid_registers=range(count)
             )
 
+        # Hot-path shortcuts: renaming happens for every dispatched
+        # instruction, so skip the enum-keyed dictionary hops and reuse
+        # one interned PhysicalRegister object per (class, index) instead
+        # of allocating a fresh one per source operand.
+        self._int_map = self._map[RegisterClass.INT]
+        self._fp_map = self._map[RegisterClass.FP]
+        self._int_free = self._free[RegisterClass.INT]
+        self._fp_free = self._free[RegisterClass.FP]
+        self._int_physical: tuple[PhysicalRegister, ...] = tuple(
+            PhysicalRegister(RegisterClass.INT, i) for i in range(num_int_physical)
+        )
+        self._fp_physical: tuple[PhysicalRegister, ...] = tuple(
+            PhysicalRegister(RegisterClass.FP, i) for i in range(num_fp_physical)
+        )
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -92,13 +120,17 @@ class Renamer:
 
     def can_rename(self, instruction: DynamicInstruction) -> bool:
         """Whether a free destination register is available for ``instruction``."""
-        if instruction.dest is None:
+        dest = instruction.dest
+        if dest is None:
             return True
-        return not self._free[instruction.dest.reg_class].empty
+        free = (self._int_free if dest.reg_class is RegisterClass.INT
+                else self._fp_free)
+        return not free.empty
 
     def current_mapping(self, register: LogicalRegister) -> PhysicalRegister:
-        index = self._map[register.reg_class].lookup(register)
-        return PhysicalRegister(register.reg_class, index)
+        if register.reg_class is RegisterClass.INT:
+            return self._int_physical[self._int_map.lookup(register)]
+        return self._fp_physical[self._fp_map.lookup(register)]
 
     # ------------------------------------------------------------------
     # renaming
@@ -113,22 +145,28 @@ class Renamer:
             If no free physical register is available for the destination;
             callers should check :meth:`can_rename` first.
         """
-        sources = tuple(self.current_mapping(src) for src in instruction.sources)
+        current_mapping = self.current_mapping
+        sources = tuple(current_mapping(src) for src in instruction.sources)
         dest: Optional[PhysicalRegister] = None
         previous: Optional[PhysicalRegister] = None
         if instruction.dest is not None:
             reg_class = instruction.dest.reg_class
-            free_list = self._free[reg_class]
+            if reg_class is RegisterClass.INT:
+                free_list, table, physical = (
+                    self._int_free, self._int_map, self._int_physical)
+            else:
+                free_list, table, physical = (
+                    self._fp_free, self._fp_map, self._fp_physical)
             if free_list.empty:
                 raise RenameError(
                     f"no free {reg_class.value} physical register for seq "
                     f"{instruction.seq}"
                 )
             new_index = free_list.allocate()
-            old_index = self._map[reg_class].update(instruction.dest, new_index)
-            dest = PhysicalRegister(reg_class, new_index)
+            old_index = table.update(instruction.dest, new_index)
+            dest = physical[new_index]
             if old_index is not None:
-                previous = PhysicalRegister(reg_class, old_index)
+                previous = physical[old_index]
         return RenamedInstruction(
             instruction=instruction,
             sources=sources,

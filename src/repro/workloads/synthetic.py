@@ -22,7 +22,9 @@ The stream is produced lazily and is fully reproducible from
 from __future__ import annotations
 
 import heapq
+import itertools
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -32,7 +34,7 @@ from repro.isa.instruction import (
     LogicalRegister,
     RegisterClass,
 )
-from repro.isa.opcodes import OpClass, default_latency
+from repro.isa.opcodes import DEFAULT_LATENCIES, OpClass
 from repro.workloads.profiles import BenchmarkProfile
 
 #: Registers per class reserved for long-lived values (base pointers,
@@ -136,7 +138,7 @@ class _MemorySequencer:
         return self._BASE + (rng.randrange(memory.working_set_bytes) & ~0x7)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRead:
     """A planned future read of a produced value."""
 
@@ -176,6 +178,10 @@ class SyntheticWorkload:
         self.profile = profile
         self.seed = profile.seed if seed is None else seed
         self._op_classes, self._op_weights = self._build_mix(profile)
+        # ``random.choices`` rebuilds the cumulative weights on every call
+        # unless they are passed in; precompute them once.  The RNG draws
+        # exactly one number either way, so the streams are unchanged.
+        self._op_cum_weights = list(itertools.accumulate(self._op_weights))
 
     @property
     def name(self) -> str:
@@ -211,8 +217,17 @@ class SyntheticWorkload:
         code_limit = 0x1000 + self.profile.code_footprint_bytes
         rotate_index = {RegisterClass.INT: 0, RegisterClass.FP: 0}
 
+        op_classes = self._op_classes
+        op_cum_weights = self._op_cum_weights
+        op_total = op_cum_weights[-1]
+        op_hi = len(op_classes) - 1
+        rng_random = rng.random
+        latencies = DEFAULT_LATENCIES
         for seq in range(count):
-            op_class = rng.choices(self._op_classes, weights=self._op_weights, k=1)[0]
+            # Inlined ``rng.choices(op_classes, cum_weights=..., k=1)[0]``:
+            # one uniform draw and a bisect, identical RNG consumption.
+            op_class = op_classes[bisect(op_cum_weights, rng_random() * op_total,
+                                         0, op_hi)]
             reg_class = RegisterClass.FP if op_class.is_fp else RegisterClass.INT
             if op_class is OpClass.LOAD or op_class is OpClass.STORE:
                 # Loads/stores of FP benchmarks mostly move FP data.
@@ -253,7 +268,7 @@ class SyntheticWorkload:
                 op_class=op_class,
                 dest=dest,
                 sources=tuple(sources),
-                latency=default_latency(op_class),
+                latency=latencies[op_class],
                 pc=this_pc,
                 is_branch=is_branch,
                 branch_taken=branch_taken,
@@ -348,10 +363,15 @@ class SyntheticWorkload:
             due = seq + self._sample_distance(rng)
             heapq.heappush(state.pending_reads, _PendingRead(due, seq, dest))
 
-    def _due_reads(self, seq: int, state: _GeneratorState) -> list[_PendingRead]:
+    _NO_READS: tuple[_PendingRead, ...] = ()
+
+    def _due_reads(self, seq: int, state: _GeneratorState):
+        pending = state.pending_reads
+        if not pending or pending[0].due_seq > seq:
+            return self._NO_READS
         due: list[_PendingRead] = []
-        while state.pending_reads and state.pending_reads[0].due_seq <= seq:
-            due.append(heapq.heappop(state.pending_reads))
+        while pending and pending[0].due_seq <= seq:
+            due.append(heapq.heappop(pending))
         return due
 
     def _pick_sources(

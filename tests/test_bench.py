@@ -1,0 +1,217 @@
+"""Tests for the performance subsystem (``repro.bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    BenchReport,
+    BenchReportError,
+    ScenarioResult,
+    compare_reports,
+    environment_fingerprint,
+    next_report_index,
+)
+from repro.bench.runner import BenchmarkRunner, run_and_save
+from repro.bench.scenarios import (
+    component_scenarios,
+    headline_scenario,
+    simulation_scenarios,
+    with_budget,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+def _report(index, scenarios, calibration=1_000_000.0):
+    return BenchReport(
+        index=index,
+        created="2026-07-30T00:00:00+00:00",
+        environment={"python_version": "3.11"},
+        calibration_score=calibration,
+        scenarios=scenarios,
+    )
+
+
+def _sim_result(name, cycles, wall):
+    return ScenarioResult(
+        name=name,
+        kind="simulation",
+        wall_seconds=wall,
+        repeats=1,
+        cycles=cycles,
+        instructions=cycles,
+        cycles_per_second=cycles / wall,
+        instructions_per_second=cycles / wall,
+    )
+
+
+class TestScenarios:
+    def test_quick_matrix_has_headline_and_all_architectures(self):
+        scenarios = simulation_scenarios(quick=True)
+        names = [s.name for s in scenarios]
+        assert len(names) == len(set(names))
+        headline = [s for s in scenarios if s.headline]
+        assert len(headline) == 1
+        architectures = {s.name.split("/")[2] for s in scenarios if not s.headline}
+        assert {"1-cycle", "2-cycle-1-bypass", "one-level-banked",
+                "register-file-cache"} <= architectures
+
+    def test_quick_budgets_are_smaller(self):
+        quick = headline_scenario(quick=True)
+        full = headline_scenario(quick=False)
+        assert quick.instructions < full.instructions
+
+    def test_component_scenarios_reuse_benchmarks_package(self):
+        scenarios = component_scenarios()
+        # The repository checkout has benchmarks/ importable via the cwd.
+        if not scenarios:
+            pytest.skip("benchmarks/ package not importable from here")
+        assert all(s.source.startswith("benchmarks.bench_components.")
+                   for s in scenarios)
+        assert scenarios[0].run() > 0
+
+    def test_scenario_run_is_deterministic(self):
+        scenario = with_budget(headline_scenario(quick=True), 300)
+        first = scenario.run().to_dict()
+        second = scenario.run().to_dict()
+        assert first == second
+
+
+class TestRunnerAndReport:
+    def test_runner_produces_schema_versioned_report(self, tmp_path):
+        scenario = with_budget(headline_scenario(quick=True), 300)
+        runner = BenchmarkRunner(quick=True, repeats=1, simulations=[scenario],
+                                 include_components=False)
+        report = runner.run(index=7)
+        assert report.schema == 1
+        assert report.index == 7
+        assert report.calibration_score > 0
+        [result] = report.scenarios
+        assert result.cycles and result.cycles_per_second > 0
+        assert result.stats_digest and len(result.stats_digest) == 64
+        path = report.save(str(tmp_path))
+        assert path.endswith("BENCH_7.json")
+        loaded = BenchReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_run_and_save_auto_numbers_against_existing_reports(self, tmp_path):
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        scenario = with_budget(headline_scenario(quick=True), 200)
+        _, path = run_and_save(
+            output_dir=str(tmp_path), quick=True, repeats=1,
+            include_components=False, name_filter="headline",
+        )
+        assert path.endswith("BENCH_4.json")
+
+    def test_next_report_index_scans_multiple_directories(self, tmp_path):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        first.mkdir()
+        second.mkdir()
+        (first / "BENCH_1.json").write_text("{}")
+        (second / "BENCH_5.json").write_text("{}")
+        assert next_report_index([str(first), str(second), "/nonexistent"]) == 6
+        assert next_report_index([str(tmp_path)]) == 1
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert env["python_version"]
+        assert env["cpu_count"] >= 1
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "BENCH_9.json"
+        path.write_text(json.dumps({"schema": 99, "index": 9}))
+        with pytest.raises(BenchReportError):
+            BenchReport.load(str(path))
+
+
+class TestCompare:
+    def test_regression_beyond_threshold_flagged(self):
+        baseline = _report(1, [_sim_result("headline", 10_000, 1.0)])
+        current = _report(2, [_sim_result("headline", 10_000, 2.0)])
+        comparison = compare_reports(baseline, current, threshold=0.25)
+        assert not comparison.ok
+        [regression] = comparison.regressions
+        assert regression.name == "headline"
+        assert regression.change_fraction == pytest.approx(-0.5)
+
+    def test_small_slowdown_within_threshold_passes(self):
+        baseline = _report(1, [_sim_result("headline", 10_000, 1.0)])
+        current = _report(2, [_sim_result("headline", 10_000, 1.1)])
+        assert compare_reports(baseline, current, threshold=0.25).ok
+
+    def test_calibration_normalization_cancels_machine_speed(self):
+        # Same simulator speed relative to the interpreter, but the
+        # "current" machine is 2x slower overall: no regression.
+        baseline = _report(1, [_sim_result("headline", 10_000, 1.0)],
+                           calibration=2_000_000.0)
+        current = _report(2, [_sim_result("headline", 10_000, 2.0)],
+                          calibration=1_000_000.0)
+        assert compare_reports(baseline, current, threshold=0.25).ok
+        # Raw mode sees the slowdown.
+        raw = compare_reports(baseline, current, threshold=0.25, normalize=False)
+        assert not raw.ok
+
+    def test_missing_scenarios_fail_the_gate(self):
+        baseline = _report(1, [_sim_result("gone", 1000, 1.0)])
+        current = _report(2, [_sim_result("fresh", 1000, 1.0)])
+        comparison = compare_reports(baseline, current)
+        assert comparison.missing_scenarios == ["gone"]
+        assert comparison.new_scenarios == ["fresh"]
+        # Lost coverage must not pass silently, even with no regressions.
+        assert not comparison.ok
+        assert "LOST COVERAGE" in comparison.render()
+
+    def test_new_scenarios_alone_do_not_fail_the_gate(self):
+        baseline = _report(1, [_sim_result("headline", 1000, 1.0)])
+        current = _report(2, [_sim_result("headline", 1000, 1.0),
+                              _sim_result("fresh", 1000, 1.0)])
+        assert compare_reports(baseline, current).ok
+
+    def test_invalid_threshold_rejected(self):
+        baseline = _report(1, [])
+        with pytest.raises(BenchReportError):
+            compare_reports(baseline, baseline, threshold=0.0)
+
+
+class TestCli:
+    def test_cli_list_mode(self, capsys):
+        assert bench_main(["--quick", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "headline/gcc/register-file-cache" in out
+
+    def test_cli_run_filter_and_compare_roundtrip(self, tmp_path, capsys):
+        argv = ["--quick", "--repeats", "1", "--filter", "matrix/gcc/1-cycle",
+                "--no-components", "--quiet", "--output-dir", str(tmp_path)]
+        assert bench_main(argv) == 0
+        assert bench_main(argv) == 0
+        reports = sorted(tmp_path.glob("BENCH_*.json"))
+        assert [p.name for p in reports] == ["BENCH_1.json", "BENCH_2.json"]
+        capsys.readouterr()
+        code = bench_main(["compare", str(reports[0]), str(reports[1]),
+                           "--threshold", "0.9"])
+        out = capsys.readouterr().out
+        assert "perf gate verdict" in out
+        assert code == 0
+
+    def test_cli_compare_detects_regression(self, tmp_path, capsys):
+        baseline = _report(1, [_sim_result("headline", 10_000, 1.0)])
+        current = _report(2, [_sim_result("headline", 10_000, 10.0)])
+        base_path = baseline.save(str(tmp_path))
+        cur_path = current.save(str(tmp_path))
+        assert bench_main(["compare", base_path, cur_path]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_repeats(self, capsys):
+        assert bench_main(["--repeats", "0"]) == 2
+
+    def test_same_code_same_digest(self, tmp_path):
+        """Two runs of the same scenario must agree on the stats digest."""
+        scenario = with_budget(headline_scenario(quick=True), 200)
+        runner = BenchmarkRunner(repeats=1, simulations=[scenario],
+                                 include_components=False)
+        first = runner.run(index=1).scenarios[0].stats_digest
+        second = runner.run(index=2).scenarios[0].stats_digest
+        assert first == second
