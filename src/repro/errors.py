@@ -37,5 +37,10 @@ class WorkloadError(ReproError):
     """A workload profile or generator was mis-specified."""
 
 
+class ValidationError(ReproError):
+    """The differential validation subsystem found an inconsistency
+    (malformed instruction stream, incomparable reports, bad fault spec)."""
+
+
 class ModelError(ReproError):
     """The analytical area/access-time model was queried out of range."""

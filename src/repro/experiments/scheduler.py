@@ -21,7 +21,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.store import ResultStore, simulation_key
 from repro.pipeline.config import ProcessorConfig
@@ -86,6 +86,52 @@ def dedupe_points(points: Iterable[SimulationPoint]) -> Dict[str, SimulationPoin
     return unique
 
 
+def fan_out(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], Any],
+    jobs: int = 1,
+    remote_worker: Optional[Callable[[Any], Any]] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Apply ``worker`` to every task, serially or across worker processes.
+
+    The shared fan-out primitive behind the experiment scheduler and the
+    differential validation runner.  With ``jobs`` > 1 the tasks are
+    shipped to a :class:`~concurrent.futures.ProcessPoolExecutor`;
+    ``remote_worker`` (default: ``worker``) is used there instead, so
+    callers can substitute a transport-friendly wrapper (e.g. one that
+    returns plain dictionaries) — it must be a picklable module-level
+    callable, as must the tasks.  ``on_result`` fires once per completed
+    task, in completion order, with ``(task_index, result)``; results
+    are returned in task order regardless.
+    """
+    tasks = list(tasks)
+    results: List[Any] = [None] * len(tasks)
+
+    def complete(index: int, result: Any) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+
+    if jobs <= 1 or len(tasks) <= 1:
+        for index, task in enumerate(tasks):
+            complete(index, worker(task))
+        return results
+
+    submit_worker = remote_worker if remote_worker is not None else worker
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(submit_worker, task): index
+            for index, task in enumerate(tasks)
+        }
+        outstanding = set(futures)
+        while outstanding:
+            finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in finished:
+                complete(futures[future], future.result())
+    return results
+
+
 def execute_points(
     points: Sequence[SimulationPoint],
     store: ResultStore,
@@ -127,21 +173,23 @@ def execute_points(
             f"(t={time.time() - started:.1f}s)"
         )
 
-    if jobs <= 1 or len(pending) <= 1:
-        for key, point in pending.items():
-            record(key, point, run_simulation_point(point))
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(_execute_remote, point): (key, point)
-                for key, point in pending.items()
-            }
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    key, point = futures[future]
-                    record(key, point, SimulationStats.from_dict(future.result()))
+    pending_items = list(pending.items())
+
+    def on_result(index: int, payload) -> None:
+        key, point = pending_items[index]
+        stats = (
+            SimulationStats.from_dict(payload) if isinstance(payload, dict)
+            else payload
+        )
+        record(key, point, stats)
+
+    fan_out(
+        [point for _, point in pending_items],
+        worker=run_simulation_point,
+        jobs=jobs,
+        remote_worker=_execute_remote,
+        on_result=on_result,
+    )
 
     return {
         "requested": requested,

@@ -66,9 +66,14 @@ class Processor:
         regfile_factory: Callable[[], RegisterFileModel],
         config: Optional[ProcessorConfig] = None,
         benchmark_name: str = "workload",
+        commit_observer=None,
     ) -> None:
         self.config = config or ProcessorConfig()
         self.benchmark_name = benchmark_name
+        # Optional commit-stream observer (see repro.validate.observer).
+        # It is read-only — attaching one must leave every statistic
+        # bit-identical — and costs one None check per commit when absent.
+        self.commit_observer = commit_observer
 
         self._regfiles: Dict[RegisterClass, RegisterFileModel] = {
             RegisterClass.INT: regfile_factory(),
@@ -214,6 +219,7 @@ class Processor:
 
     def _commit_stage(self, cycle: int) -> None:
         stats = self.stats
+        observer = self.commit_observer
         max_instructions = self.config.max_instructions
         rob = self.rob
         rob_entries = self._rob_entries
@@ -253,6 +259,8 @@ class Processor:
             elif op_class is OpClass.LOAD:
                 lsq.release(instruction.seq)
             stats.committed_instructions += 1
+            if observer is not None:
+                observer.on_commit(renamed, cycle)
 
     # ------------------------------------------------------------------
     # write-back / completion
@@ -626,6 +634,9 @@ class Processor:
             for key, value in regfile.statistics().items():
                 regfile_stats[f"{reg_class.value}_{key}"] = value
         self.stats.regfile_statistics = regfile_stats
+        observer = self.commit_observer
+        if observer is not None:
+            self.stats.commit_checksum = observer.final_digest()
 
 
 def simulate(
@@ -633,7 +644,9 @@ def simulate(
     regfile_factory: Callable[[], RegisterFileModel],
     config: Optional[ProcessorConfig] = None,
     benchmark_name: str = "workload",
+    commit_observer=None,
 ) -> SimulationStats:
     """Convenience wrapper: build a :class:`Processor`, run it, return stats."""
-    processor = Processor(workload, regfile_factory, config, benchmark_name)
+    processor = Processor(workload, regfile_factory, config, benchmark_name,
+                          commit_observer=commit_observer)
     return processor.run()

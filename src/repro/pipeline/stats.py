@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field, fields
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -72,6 +72,13 @@ class SimulationStats:
     max_rob_occupancy: int = 0
     max_int_registers_in_use: int = 0
     max_fp_registers_in_use: int = 0
+
+    #: Commit-order checksum, set only when a commit observer was attached
+    #: (see :mod:`repro.validate.observer`).  ``None`` — the overwhelmingly
+    #: common case — is excluded from :meth:`to_dict` so that golden
+    #: fixtures and benchmark stats digests are byte-identical with and
+    #: without the validation subsystem in the tree.
+    commit_checksum: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -158,11 +165,18 @@ class SimulationStats:
     #: the keys into strings, so round-tripping needs the explicit list.
     _COUNTER_FIELDS = ("value_read_distribution", "occupancy_needed", "occupancy_ready")
 
+    #: Optional fields omitted from :meth:`to_dict` while unset, so runs
+    #: without the corresponding feature serialize exactly as they did
+    #: before the field existed (golden fixtures, bench digests).
+    _OPTIONAL_FIELDS = ("commit_checksum",)
+
     def to_dict(self) -> dict:
         """JSON-serializable dictionary holding every counter of the run."""
         payload: dict = {}
         for spec in fields(self):
             value = getattr(self, spec.name)
+            if value is None and spec.name in self._OPTIONAL_FIELDS:
+                continue
             if isinstance(value, dict):  # Counter is a dict subclass
                 value = {str(key): count for key, count in value.items()}
             payload[spec.name] = value

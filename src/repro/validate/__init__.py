@@ -1,0 +1,57 @@
+"""Differential validation subsystem.
+
+Proves, end to end, the paper's architectural-transparency claim: every
+register-file architecture (monolithic, banked, register-file cache
+across its policies) must commit the identical instruction stream with
+the identical architectural register state — checked against each other
+and against an independent in-order functional oracle, over fuzzed
+scenarios reproducible from a single seed.
+
+Entry points: ``python -m repro.validate`` (CLI) or
+:func:`repro.validate.runner.run_validation` (API).
+"""
+
+from repro.validate.differential import (
+    filter_matrix,
+    run_differential,
+    validation_matrix,
+)
+from repro.validate.faults import FaultInjectingObserver, InjectedFault
+from repro.validate.fuzzer import FuzzScenario, generate_scenario, random_program
+from repro.validate.observer import (
+    CommitObserver,
+    CommitStreamAccumulator,
+    commit_record,
+)
+from repro.validate.oracle import ArchitecturalOracle, OracleResult, run_oracle
+from repro.validate.report import (
+    ArchitectureOutcome,
+    Divergence,
+    ScenarioValidation,
+    ValidationReport,
+)
+from repro.validate.runner import SeedTask, run_seed, run_validation
+
+__all__ = [
+    "ArchitecturalOracle",
+    "ArchitectureOutcome",
+    "CommitObserver",
+    "CommitStreamAccumulator",
+    "Divergence",
+    "FaultInjectingObserver",
+    "FuzzScenario",
+    "InjectedFault",
+    "OracleResult",
+    "ScenarioValidation",
+    "SeedTask",
+    "ValidationReport",
+    "commit_record",
+    "filter_matrix",
+    "generate_scenario",
+    "random_program",
+    "run_differential",
+    "run_oracle",
+    "run_seed",
+    "run_validation",
+    "validation_matrix",
+]

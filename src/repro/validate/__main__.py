@@ -1,0 +1,124 @@
+"""Command-line interface of the differential validation subsystem.
+
+Fuzz N seeded scenarios across the full register-file architecture
+matrix and compare every run against the architectural oracle::
+
+    python -m repro.validate --seeds 25 --quick
+    python -m repro.validate --seeds 50 --jobs 4 --json validate.json
+
+Reproduce one failing seed from a report's ``repro`` line::
+
+    python -m repro.validate --seed 17 --quick
+
+Check that the detection machinery works (injects a deliberate
+observation fault; the run MUST report a divergence)::
+
+    python -m repro.validate --seed 1 --inject-fault monolithic-1c:40
+
+Exit codes: 0 all architectures agree, 1 divergence detected, 2 usage
+or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.validate.differential import validation_matrix
+from repro.validate.faults import InjectedFault
+from repro.validate.observer import DEFAULT_CHECKPOINT_INTERVAL
+from repro.validate.runner import run_validation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="number of fuzzer seeds to run, 1..N (default: 10)")
+    parser.add_argument("--seed", type=int, action="append", dest="seed_list",
+                        default=None, metavar="S",
+                        help="run exactly this seed (repeatable; overrides --seeds)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced instruction budgets (CI-sized run)")
+    parser.add_argument("--filter", dest="name_filter", default=None,
+                        help="only run architectures whose name contains this "
+                             "substring (the oracle always runs)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the seed fan-out "
+                             "(default: 1, serial)")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        help="also write the full report as JSON to this path")
+    parser.add_argument("--checkpoint-interval", type=int,
+                        default=DEFAULT_CHECKPOINT_INTERVAL,
+                        help="commits between rolling-checksum checkpoints "
+                             f"(default: {DEFAULT_CHECKPOINT_INTERVAL})")
+    parser.add_argument("--list", action="store_true",
+                        help="list the architecture matrix and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-seed progress on stderr")
+    parser.add_argument("--inject-fault", dest="inject_fault", default=None,
+                        metavar="ARCHITECTURE:COMMIT_INDEX",
+                        help="corrupt one architecture's observed commit stream "
+                             "(self-test of the detector; the run must fail)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for name, factory in validation_matrix().items():
+            print(f"{name:28s} {type(factory).__name__}")
+        return 0
+
+    if args.seed_list:
+        seeds = list(args.seed_list)
+    else:
+        if args.seeds <= 0:
+            print("error: --seeds must be positive", file=sys.stderr)
+            return 2
+        seeds = list(range(1, args.seeds + 1))
+    if args.checkpoint_interval <= 0:
+        print("error: --checkpoint-interval must be positive", file=sys.stderr)
+        return 2
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr, flush=True)
+
+    try:
+        fault = (
+            InjectedFault.parse(args.inject_fault)
+            if args.inject_fault is not None else None
+        )
+        report = run_validation(
+            seeds,
+            quick=args.quick,
+            name_filter=args.name_filter,
+            jobs=args.jobs,
+            checkpoint_interval=args.checkpoint_interval,
+            fault=fault,
+            progress=progress,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(report.render())
+    if args.json_path:
+        try:
+            path = report.save(args.json_path)
+        except OSError as error:
+            print(f"error: cannot write report: {error}", file=sys.stderr)
+            return 2
+        progress(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Seeded scenario fuzzer.
+
+Every hand-written test pins one workload on one configuration; the
+fuzzer instead derives, from a single integer seed, a *scenario*: a
+workload (a SPEC95-like synthetic profile with a random stream seed, a
+hand-written kernel, or a freshly generated random-but-valid assembly
+program) plus a random :class:`~repro.pipeline.config.ProcessorConfig`
+point (widths, window/ROB/LSQ sizes, physical register counts...).  The
+differential runner then replays the scenario's trace across the full
+architecture matrix.  Scenarios are pure functions of ``(seed, quick)``,
+so any failure reproduces from its seed alone.
+
+Generated programs are valid and terminating by construction: they are
+assembled by :func:`repro.isa.assembler.assemble` (which rejects
+malformed text), all backward branches are counted loops with a
+dedicated counter register no body instruction may overwrite, and all
+other control flow is strictly forward.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.isa.assembler import assemble
+from repro.pipeline.config import ProcessorConfig
+from repro.workloads.kernels import KERNELS, kernel_workload
+from repro.workloads.profiles import get_profile
+from repro.workloads.spec_suites import SPEC95
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import Trace, materialize
+
+#: Integer registers reserved by generated programs: r1/r2 are memory
+#: base pointers, r3 the loop counter, r4 the zero constant.  Body
+#: instructions never write them, which is what guarantees termination.
+_INT_DEST_POOL = tuple(f"r{i}" for i in range(5, 16))
+_FP_DEST_POOL = tuple(f"f{i}" for i in range(1, 11))
+_BASE_REGISTERS = ("r1", "r2")
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One reproducible validation scenario."""
+
+    seed: int
+    source: str  # "synthetic", "kernel" or "program"
+    benchmark: str
+    workload_seed: int
+    instructions: int
+    stream_slack: int
+    config_fields: Tuple[Tuple[str, object], ...] = ()
+    program_text: str = field(default="", repr=False)
+
+    def config(self) -> ProcessorConfig:
+        return ProcessorConfig(
+            max_instructions=self.instructions, **dict(self.config_fields)
+        )
+
+    def build_trace(self) -> Trace:
+        length = self.instructions + self.stream_slack
+        if self.source == "synthetic":
+            workload = SyntheticWorkload(
+                get_profile(self.benchmark), seed=self.workload_seed
+            )
+            return materialize(self.benchmark, workload.instructions(length))
+        if self.source == "kernel":
+            return materialize(
+                self.benchmark, kernel_workload(self.benchmark, max_instructions=length)
+            )
+        program = assemble(self.program_text)
+        return materialize(self.benchmark, program.run(max_instructions=length))
+
+    def describe(self) -> dict:
+        """JSON-serializable descriptor embedded in validation reports."""
+        descriptor: dict = {
+            "seed": self.seed,
+            "source": self.source,
+            "benchmark": self.benchmark,
+            "workload_seed": self.workload_seed,
+            "instructions": self.instructions,
+            "stream_slack": self.stream_slack,
+            "config": dict(self.config_fields),
+        }
+        if self.program_text:
+            descriptor["program_text"] = self.program_text
+        return descriptor
+
+
+def generate_scenario(seed: int, quick: bool = False) -> FuzzScenario:
+    """Derive the scenario of ``seed`` (deterministic across processes)."""
+    # String seeding hashes the bytes (no PYTHONHASHSEED dependence), so
+    # workers and repro runs agree on every draw.
+    rng = random.Random(f"repro.validate:{seed}")
+    instructions = rng.randrange(200, 500) if quick else rng.randrange(400, 1200)
+    draw = rng.random()
+    if draw < 0.5:
+        source, benchmark = "synthetic", rng.choice(SPEC95)
+        program_text = ""
+    elif draw < 0.7:
+        source, benchmark = "kernel", rng.choice(sorted(KERNELS))
+        program_text = ""
+    else:
+        source, benchmark = "program", f"fuzz-program-{seed}"
+        program_text = random_program(rng)
+    return FuzzScenario(
+        seed=seed,
+        source=source,
+        benchmark=benchmark,
+        workload_seed=rng.randrange(2**31),
+        instructions=instructions,
+        stream_slack=rng.choice((0, 300)),
+        config_fields=tuple(sorted(_random_config(rng).items())),
+        program_text=program_text,
+    )
+
+
+def _random_config(rng: random.Random) -> dict:
+    """A random but safe ProcessorConfig point.
+
+    Ranges keep every architecture of the matrix live-lock free: physical
+    register counts stay above the 32 architected registers per class and
+    the queues stay large enough that commit always drains dispatch.
+    """
+    overrides = {
+        "fetch_width": rng.choice((2, 4, 8)),
+        "decode_width": rng.choice((2, 4, 8)),
+        "issue_width": rng.choice((1, 2, 4, 8)),
+        "commit_width": rng.choice((2, 4, 8)),
+        "instruction_window": rng.choice((16, 32, 64, 128)),
+        "rob_size": rng.choice((32, 64, 128)),
+        "lsq_size": rng.choice((8, 16, 32)),
+        "num_int_physical": rng.choice((48, 64, 96, 128)),
+        "num_fp_physical": rng.choice((48, 64, 96, 128)),
+        "fetch_buffer_size": rng.choice((4, 8, 16)),
+    }
+    if rng.random() < 0.15:
+        overrides["collect_occupancy"] = True
+    return overrides
+
+
+# ----------------------------------------------------------------------
+# random program generation
+# ----------------------------------------------------------------------
+
+#: (mnemonic template, kind) — kind selects the operand pools.
+_INT_OPS = ("add", "sub", "slt")
+_FP_OPS = ("fadd", "fsub", "fmul")
+
+
+def random_program(rng: random.Random) -> str:
+    """Generate a valid, terminating assembly program.
+
+    The program is a sequence of counted loops.  Loop bodies mix integer
+    and FP arithmetic, loads/stores against two base pointers, and
+    forward conditional skips.  The integer operation set deliberately
+    excludes bitwise/shift operations and multiplies: value magnitudes
+    can grow without bound across iterations, and the functional
+    executor converts load/store base operands to ``int`` — restricting
+    address arithmetic to the ``li``/``addi``-maintained base registers
+    keeps every conversion finite.
+    """
+    lines = [
+        "    li   r1, 0x2000",
+        "    li   r2, 0x4000",
+        "    li   r4, 0",
+        f"    li   r5, {rng.randint(1, 32)}",
+    ]
+    label_counter = 0
+    for loop_index in range(rng.randint(1, 3)):
+        trip = rng.randint(3, 24)
+        lines.append(f"    li   r3, {trip}")
+        lines.append(f"loop{loop_index}:")
+        body_ops = rng.randint(3, 10)
+        emitted = 0
+        while emitted < body_ops:
+            if rng.random() < 0.25 and body_ops - emitted >= 2:
+                label = f"skip{label_counter}"
+                label_counter += 1
+                a, b = rng.choice(_INT_DEST_POOL), rng.choice(
+                    _INT_DEST_POOL + _BASE_REGISTERS
+                )
+                mnemonic = rng.choice(("blt", "bge", "beq", "bne"))
+                lines.append(f"    {mnemonic}  {a}, {b}, {label}")
+                for _ in range(rng.randint(1, 2)):
+                    lines.append(_random_body_op(rng))
+                    emitted += 1
+                lines.append(f"{label}:")
+            else:
+                lines.append(_random_body_op(rng))
+                emitted += 1
+        lines.append("    addi r3, r3, -1")
+        lines.append(f"    bne  r3, r4, loop{loop_index}")
+    return "\n".join(lines) + "\n"
+
+
+def _random_body_op(rng: random.Random) -> str:
+    draw = rng.random()
+    if draw < 0.30:  # integer ALU
+        op = rng.choice(_INT_OPS)
+        dest = rng.choice(_INT_DEST_POOL)
+        a = rng.choice(_INT_DEST_POOL + _BASE_REGISTERS)
+        b = rng.choice(_INT_DEST_POOL)
+        return f"    {op}  {dest}, {a}, {b}"
+    if draw < 0.45:  # addi / li / mov
+        dest = rng.choice(_INT_DEST_POOL)
+        kind = rng.random()
+        if kind < 0.4:
+            return f"    addi {dest}, {rng.choice(_INT_DEST_POOL)}, {rng.randint(-16, 16)}"
+        if kind < 0.7:
+            return f"    li   {dest}, {rng.randint(0, 64)}"
+        return f"    mov  {dest}, {rng.choice(_INT_DEST_POOL)}"
+    if draw < 0.60:  # FP arithmetic
+        op = rng.choice(_FP_OPS)
+        dest = rng.choice(_FP_DEST_POOL)
+        return (
+            f"    {op} {dest}, {rng.choice(_FP_DEST_POOL)}, "
+            f"{rng.choice(_FP_DEST_POOL)}"
+        )
+    if draw < 0.70:  # integer load
+        return (
+            f"    lw   {rng.choice(_INT_DEST_POOL)}, "
+            f"{rng.choice(_BASE_REGISTERS)}, {8 * rng.randrange(32)}"
+        )
+    if draw < 0.78:  # FP load
+        return (
+            f"    flw  {rng.choice(_FP_DEST_POOL)}, "
+            f"{rng.choice(_BASE_REGISTERS)}, {8 * rng.randrange(32)}"
+        )
+    if draw < 0.86:  # integer store
+        return (
+            f"    sw   {rng.choice(_INT_DEST_POOL)}, "
+            f"{rng.choice(_BASE_REGISTERS)}, {8 * rng.randrange(32)}"
+        )
+    if draw < 0.94:  # FP store
+        return (
+            f"    fsw  {rng.choice(_FP_DEST_POOL)}, "
+            f"{rng.choice(_BASE_REGISTERS)}, {8 * rng.randrange(32)}"
+        )
+    if draw < 0.98:  # FP move
+        return (
+            f"    fmov {rng.choice(_FP_DEST_POOL)}, {rng.choice(_FP_DEST_POOL)}"
+        )
+    return "    nop"

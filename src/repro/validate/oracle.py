@@ -1,0 +1,128 @@
+"""The architectural oracle: a pipeline-independent reference model.
+
+The oracle is a trivial in-order executor over a dynamic instruction
+stream.  It shares no code with the pipeline model — no renaming, no
+issue window, no register-file timing — so a bug anywhere in those
+layers cannot also hide in the oracle.  It consumes the first
+``max_instructions`` instructions of a stream (exactly the prefix any
+correct pipeline run commits), checks the stream invariants the
+simulator relies on, and produces the same
+:class:`~repro.validate.observer.CommitStreamAccumulator` summary the
+pipeline-side observer produces: commit count, rolling commit-order
+checksum, checkpoints and the symbolic architectural register state.
+
+Because the timing simulator is trace driven, instruction *values* do
+not exist; see :mod:`repro.validate.observer` for why last-writer
+sequence numbers are the right notion of architectural state here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.isa.instruction import DynamicInstruction
+from repro.isa.opcodes import OpClass
+from repro.validate.observer import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    CommitStreamAccumulator,
+)
+
+
+@dataclass
+class OracleResult:
+    """Everything the oracle derived from one stream prefix."""
+
+    count: int
+    digest: str
+    checkpoints: List[Tuple[int, str]]
+    state: Dict[str, int]
+    log: Optional[List[str]]
+
+    def snapshot(self) -> dict:
+        """Same shape as ``CommitObserver.snapshot`` for direct comparison."""
+        return {
+            "count": self.count,
+            "digest": self.digest,
+            "checkpoints": [list(checkpoint) for checkpoint in self.checkpoints],
+            "state": self.state,
+        }
+
+
+class ArchitecturalOracle:
+    """In-order functional reference executor."""
+
+    def __init__(
+        self,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        keep_log: bool = True,
+    ) -> None:
+        self.checkpoint_interval = checkpoint_interval
+        self.keep_log = keep_log
+
+    def execute(
+        self,
+        instructions: Iterable[DynamicInstruction],
+        max_instructions: int,
+    ) -> OracleResult:
+        """Execute (in order) up to ``max_instructions`` instructions.
+
+        Raises
+        ------
+        ValidationError
+            If the stream violates an invariant every consumer assumes:
+            sequence numbers must be contiguous from 0, branches must be
+            flagged consistently, and memory operations must carry an
+            effective address.
+        """
+        if max_instructions <= 0:
+            raise ValidationError("max_instructions must be positive")
+        accumulator = CommitStreamAccumulator(
+            checkpoint_interval=self.checkpoint_interval, keep_log=self.keep_log
+        )
+        expected_seq = 0
+        for instruction in instructions:
+            if accumulator.count >= max_instructions:
+                break
+            self._check(instruction, expected_seq)
+            expected_seq += 1
+            accumulator.record(instruction)
+        return OracleResult(
+            count=accumulator.count,
+            digest=accumulator.digest(),
+            checkpoints=list(accumulator.checkpoints),
+            state=accumulator.state_snapshot(),
+            log=accumulator.log,
+        )
+
+    @staticmethod
+    def _check(instruction: DynamicInstruction, expected_seq: int) -> None:
+        if instruction.seq != expected_seq:
+            raise ValidationError(
+                f"stream sequence numbers must be contiguous: expected "
+                f"{expected_seq}, got {instruction.seq}"
+            )
+        op_class = instruction.op_class
+        if (op_class is OpClass.BRANCH) != instruction.is_branch:
+            raise ValidationError(
+                f"seq {instruction.seq}: is_branch={instruction.is_branch} "
+                f"inconsistent with op_class {op_class.value}"
+            )
+        if op_class.is_memory and instruction.mem_address is None:
+            raise ValidationError(
+                f"seq {instruction.seq}: {op_class.value} without a memory address"
+            )
+
+
+def run_oracle(
+    instructions: Iterable[DynamicInstruction],
+    max_instructions: int,
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+    keep_log: bool = True,
+) -> OracleResult:
+    """Convenience wrapper around :class:`ArchitecturalOracle`."""
+    oracle = ArchitecturalOracle(
+        checkpoint_interval=checkpoint_interval, keep_log=keep_log
+    )
+    return oracle.execute(instructions, max_instructions)

@@ -1,0 +1,69 @@
+"""Smoke tests for the example scripts.
+
+Each example is imported from ``examples/`` and its ``main()`` executed
+in-process with a tiny instruction budget, so a broken import, a renamed
+API or a crash in any example fails the suite instead of the first user
+who copies it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_example(monkeypatch, capsys, name: str, argv: list[str]) -> str:
+    module = _load_example(name)
+    monkeypatch.setattr(sys, "argv", [f"{name}.py", *argv])
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "quickstart", ["gcc", "400"])
+    assert "benchmark: gcc (400 committed instructions)" in out
+    assert "register file cache" in out
+    assert "IPC ratio" in out
+
+
+def test_compare_architectures(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "compare_architectures", ["300"])
+    assert "IPC, unlimited ports, 300 instructions" in out
+    assert "Hmean" in out
+    assert "% IPC vs the 1-cycle register file" in out
+
+
+def test_area_tradeoff(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "area_tradeoff", ["16000", "200"])
+    assert "Best configuration under an area budget" in out
+    assert "register file cache" in out
+    assert "highest throughput under the budget" in out
+
+
+def test_custom_kernel(monkeypatch, capsys):
+    out = _run_example(monkeypatch, capsys, "custom_kernel", [])
+    assert "dynamic instructions" in out
+    assert "register file cache" in out
+    assert out.count("IPC =") == 3
+
+
+@pytest.mark.parametrize(
+    "name", ["quickstart", "compare_architectures", "area_tradeoff", "custom_kernel"]
+)
+def test_every_example_has_a_main(name):
+    module = _load_example(name)
+    assert callable(module.main)

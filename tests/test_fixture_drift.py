@@ -1,0 +1,41 @@
+"""Fixture-drift guard for the golden-stats generator.
+
+``tests/fixtures/make_golden_fixtures.py`` must regenerate the committed
+golden JSON byte-for-byte; otherwise the generator has silently diverged
+from the fixtures (e.g. a scenario definition edited without
+regenerating), and the parity tests would be pinning stale expectations.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+
+sys.path.insert(0, str(FIXTURE_DIR))
+
+from make_golden_fixtures import SCENARIOS, run_scenario  # noqa: E402
+
+
+def _serialize(payload: dict) -> str:
+    """Exactly the bytes the generator writes (sans trailing newline)."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def test_generator_reproduces_committed_fixture_byte_identically():
+    scenario = "single_banked_1c"
+    committed = (FIXTURE_DIR / f"golden_{scenario}.json").read_text(encoding="utf-8")
+    regenerated = _serialize(run_scenario(scenario)) + "\n"
+    assert regenerated == committed, (
+        f"make_golden_fixtures.py no longer reproduces golden_{scenario}.json; "
+        "regenerate the fixtures (and review the diff) or revert the "
+        "generator change"
+    )
+
+
+def test_every_scenario_has_a_committed_fixture_and_vice_versa():
+    expected = {f"golden_{name}.json" for name in SCENARIOS}
+    present = {path.name for path in FIXTURE_DIR.glob("golden_*.json")}
+    assert expected == present

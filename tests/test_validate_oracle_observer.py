@@ -1,0 +1,155 @@
+"""Tests for the commit-stream observer and the architectural oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.isa.instruction import DynamicInstruction, fp_reg, int_reg
+from repro.isa.opcodes import OpClass
+from repro.pipeline.processor import simulate
+from repro.pipeline.stats import SimulationStats
+from repro.validate.observer import (
+    CommitObserver,
+    CommitStreamAccumulator,
+    commit_record,
+)
+from repro.validate.oracle import run_oracle
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.trace import materialize
+
+
+def make_stream(name: str, count: int):
+    return SyntheticWorkload(get_profile(name)).instructions(count)
+
+
+def _tiny_stream():
+    return [
+        DynamicInstruction(seq=0, op_class=OpClass.INT_ALU, dest=int_reg(5)),
+        DynamicInstruction(
+            seq=1, op_class=OpClass.LOAD, dest=fp_reg(2),
+            sources=(int_reg(5),), mem_address=0x2000,
+        ),
+        DynamicInstruction(
+            seq=2, op_class=OpClass.BRANCH, sources=(int_reg(5), int_reg(0)),
+            branch_taken=True, branch_target=0x1000,
+        ),
+        DynamicInstruction(seq=3, op_class=OpClass.INT_ALU, dest=int_reg(5)),
+    ]
+
+
+class TestCommitRecord:
+    def test_captures_architectural_fields_only(self):
+        load = _tiny_stream()[1]
+        record = commit_record(load)
+        assert record == "1|load|f2|r5|8192|"
+
+    def test_branch_outcome_encoded(self):
+        branch = _tiny_stream()[2]
+        assert commit_record(branch).endswith("|T")
+        branch.branch_taken = False
+        assert commit_record(branch).endswith("|N")
+
+
+class TestCommitStreamAccumulator:
+    def test_state_tracks_youngest_committed_writer(self):
+        accumulator = CommitStreamAccumulator()
+        for instruction in _tiny_stream():
+            accumulator.record(instruction)
+        assert accumulator.count == 4
+        assert accumulator.state_snapshot() == {"f2": 1, "r5": 3}
+
+    def test_checkpoints_every_interval(self):
+        accumulator = CommitStreamAccumulator(checkpoint_interval=2)
+        for instruction in _tiny_stream():
+            accumulator.record(instruction)
+        assert [index for index, _ in accumulator.checkpoints] == [2, 4]
+        # The final checkpoint digest is a prefix of the rolling digest.
+        assert accumulator.digest().startswith(accumulator.checkpoints[-1][1])
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            CommitStreamAccumulator(checkpoint_interval=0)
+
+    def test_log_is_optional(self):
+        accumulator = CommitStreamAccumulator(keep_log=False)
+        accumulator.record(_tiny_stream()[0])
+        assert accumulator.log is None
+        assert accumulator.count == 1
+
+
+class TestOracle:
+    def test_consumes_exactly_the_committed_prefix(self):
+        stream = _tiny_stream()
+        result = run_oracle(iter(stream), max_instructions=3)
+        assert result.count == 3
+        assert len(result.log) == 3
+
+    def test_short_stream_commits_everything(self):
+        result = run_oracle(iter(_tiny_stream()), max_instructions=100)
+        assert result.count == 4
+
+    def test_rejects_non_contiguous_sequence(self):
+        stream = _tiny_stream()
+        stream[2].seq = 7
+        with pytest.raises(ValidationError, match="contiguous"):
+            run_oracle(iter(stream), max_instructions=10)
+
+    def test_rejects_inconsistent_branch_flag(self):
+        stream = _tiny_stream()
+        stream[0].is_branch = True
+        with pytest.raises(ValidationError, match="is_branch"):
+            run_oracle(iter(stream), max_instructions=10)
+
+    def test_rejects_memory_op_without_address(self):
+        stream = _tiny_stream()
+        stream[1].mem_address = None
+        with pytest.raises(ValidationError, match="memory address"):
+            run_oracle(iter(stream), max_instructions=10)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValidationError):
+            run_oracle(iter(_tiny_stream()), max_instructions=0)
+
+
+class TestObserverOnPipeline:
+    def test_pipeline_commit_stream_matches_oracle(self, tiny_config):
+        trace = materialize("gcc", make_stream("gcc", 700))
+        oracle = run_oracle(iter(trace), tiny_config.max_instructions)
+        observer = CommitObserver()
+        simulate(iter(trace), lambda: _one_cycle_regfile(), tiny_config,
+                 commit_observer=observer)
+        assert observer.accumulator.count == oracle.count
+        assert observer.final_digest() == oracle.digest
+        assert observer.accumulator.state_snapshot() == oracle.state
+
+    def test_observer_does_not_perturb_statistics(self, tiny_config):
+        trace = materialize("perl", make_stream("perl", 700))
+        plain = simulate(iter(trace), lambda: _one_cycle_regfile(), tiny_config)
+        observed = simulate(iter(trace), lambda: _one_cycle_regfile(), tiny_config,
+                            commit_observer=CommitObserver())
+        plain_payload = plain.to_dict()
+        observed_payload = observed.to_dict()
+        # The checksum is the only permitted difference.
+        checksum = observed_payload.pop("commit_checksum")
+        assert checksum
+        assert "commit_checksum" not in plain_payload
+        assert observed_payload == plain_payload
+
+    def test_commit_checksum_round_trips(self):
+        stats = SimulationStats(benchmark="x", commit_checksum="abc123")
+        payload = stats.to_dict()
+        assert payload["commit_checksum"] == "abc123"
+        assert SimulationStats.from_dict(payload).commit_checksum == "abc123"
+
+    def test_unset_checksum_is_excluded_from_serialization(self):
+        payload = SimulationStats(benchmark="x").to_dict()
+        assert "commit_checksum" not in payload
+        assert SimulationStats.from_dict(payload).commit_checksum is None
+
+
+def _one_cycle_regfile():
+    from repro.regfile.monolithic import SingleBankedRegisterFile
+
+    return SingleBankedRegisterFile(latency=1)
