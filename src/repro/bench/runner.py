@@ -27,8 +27,10 @@ from repro.bench.report import (
 from repro.bench.scenarios import (
     ComponentScenario,
     SimulationScenario,
+    SweepScenario,
     component_scenarios,
     simulation_scenarios,
+    sweep_scenarios,
 )
 
 #: Progress sink for one-line status messages.
@@ -58,6 +60,7 @@ class BenchmarkRunner:
     progress: Optional[ProgressCallback] = None
     #: Scenario overrides, mainly for tests; defaults to the full matrix.
     simulations: Optional[Sequence[SimulationScenario]] = None
+    sweeps: Optional[Sequence[SweepScenario]] = None
     components: Optional[Sequence[ComponentScenario]] = None
     results: List[ScenarioResult] = field(default_factory=list)
 
@@ -102,6 +105,32 @@ class BenchmarkRunner:
             metadata=scenario.metadata(),
         )
 
+    def run_sweep(self, scenario: SweepScenario) -> ScenarioResult:
+        """Time one sweep; the primary metric is points per second.
+
+        A sweep is timed once (``repeats`` is ignored): it is long
+        compared to single simulations and internally amortized, and the
+        compare gate's calibration normalization absorbs machine-speed
+        noise the same way it does for the other kinds.
+        """
+        started = time.perf_counter()
+        outcome = scenario.run()
+        wall = time.perf_counter() - started
+        points = int(outcome["points"])
+        metadata = scenario.metadata()
+        metadata["scheduler_summary"] = outcome["summary"]
+        metadata["points_per_minute"] = round(60.0 * points / wall, 1) if wall else 0.0
+        return ScenarioResult(
+            name=scenario.name,
+            kind="sweep",
+            wall_seconds=wall,
+            repeats=1,
+            operations=points,
+            operations_per_second=points / wall if wall > 0 else 0.0,
+            stats_digest=str(outcome["stats_digest"]),
+            metadata=metadata,
+        )
+
     def run_component(self, scenario: ComponentScenario) -> ScenarioResult:
         wall, operations = self._time(scenario.run)
         count = int(operations) if isinstance(operations, int) else 0
@@ -122,13 +151,17 @@ class BenchmarkRunner:
             self.simulations if self.simulations is not None
             else simulation_scenarios(self.quick)
         )
+        sweeps = self._selected(
+            self.sweeps if self.sweeps is not None
+            else sweep_scenarios(self.quick)
+        )
         components: Sequence[ComponentScenario] = []
         if self.include_components:
             components = self._selected(
                 self.components if self.components is not None
                 else component_scenarios(self.quick)
             )
-        total = len(simulations) + len(components)
+        total = len(simulations) + len(sweeps) + len(components)
         self._say(f"bench: {total} scenarios ({'quick' if self.quick else 'full'} "
                   f"matrix), {max(1, self.repeats)} repeats each")
         calibration = calibration_score()
@@ -140,6 +173,13 @@ class BenchmarkRunner:
             self._say(f"[{done}/{total}] {result.name}: "
                       f"{result.cycles_per_second:,.0f} cycles/s "
                       f"({result.wall_seconds:.3f}s)")
+        for scenario in sweeps:
+            result = self.run_sweep(scenario)
+            self.results.append(result)
+            done += 1
+            self._say(f"[{done}/{total}] {result.name}: "
+                      f"{result.metadata['points_per_minute']:,} points/min "
+                      f"({result.wall_seconds:.2f}s)")
         for scenario in components:
             result = self.run_component(scenario)
             self.results.append(result)

@@ -79,6 +79,7 @@ class FunctionalUnitPool:
             for op_class, name in _GROUP_FOR_CLASS.items()
         }
         self._cycle = -1
+        self._dirty = False
         # statistics
         self.issues_by_group: dict[str, int] = {name: 0 for name in self._groups}
         self.structural_stalls = 0
@@ -89,12 +90,23 @@ class FunctionalUnitPool:
         return _GROUP_FOR_CLASS[op_class]
 
     def begin_cycle(self, cycle: int) -> None:
-        """Reset per-cycle issue counters and retire finished busy units."""
+        """Reset per-cycle issue counters and retire finished busy units.
+
+        Skipped outright (cheap flag test) on the many cycles where no
+        unit issued since the last reset and no unpipelined operation is
+        still busy — the per-group loop showed up in profiles.
+        """
         self._cycle = cycle
+        if not self._dirty:
+            return
+        dirty = False
         for group in self._groups.values():
             group.issued_this_cycle = 0
             if group.busy_until:
                 group.busy_until = [c for c in group.busy_until if c > cycle]
+                if group.busy_until:
+                    dirty = True
+        self._dirty = dirty
 
     def can_issue(self, op_class: OpClass, cycle: int) -> bool:
         """Whether a unit for ``op_class`` can accept a new operation now."""
@@ -119,8 +131,18 @@ class FunctionalUnitPool:
             raise ConfigurationError(
                 f"no free {_GROUP_FOR_CLASS[op_class]} unit at cycle {cycle}"
             )
+        self.issue_unchecked(op_class, cycle, latency)
+
+    def issue_unchecked(self, op_class: OpClass, cycle: int, latency: int) -> None:
+        """:meth:`issue` without re-running the availability check.
+
+        The pipeline's issue stage calls :meth:`can_issue` moments before
+        committing to the issue (with no intervening FU state change), so
+        re-checking inside :meth:`issue` doubled the per-issue cost.
+        """
         group = self._group_for_class[op_class]
         group.issued_this_cycle += 1
+        self._dirty = True
         if op_class in _UNPIPELINED_CLASSES:
             group.busy_until.append(cycle + latency)
         self.issues_by_group[group.name] += 1

@@ -14,12 +14,13 @@ of waiting consumers so that
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.execute.bypass import BypassNetwork
 from repro.execute.scoreboard import ValueScoreboard
+from repro.isa.instruction import RegisterClass
 from repro.rename.renamer import PhysicalRegister, RenamedInstruction
 
 
@@ -29,8 +30,12 @@ class IssueQueueEntry:
 
     renamed: RenamedInstruction
     dispatch_cycle: int
-    #: Source registers whose producer completion time is not yet known.
-    pending: set[PhysicalRegister] = field(default_factory=set)
+    #: ``uid``s of source registers whose producer completion time is not
+    #: yet known (integer keys hash at C speed).  ``None`` until the first
+    #: pending source appears — falsy either way for ``data_ready`` and
+    #: the select loop, and it skips a set allocation for the many
+    #: entries that dispatch with all operands already produced.
+    pending: Optional[set[int]] = None
     #: Earliest cycle this instruction could start executing, considering
     #: operand availability through bypass/register file (structural
     #: hazards can push the real execution later).
@@ -42,6 +47,14 @@ class IssueQueueEntry:
     #: through two dataclasses is measurably slow.  Filled by
     #: ``__post_init__``; the constructor argument is ignored.
     seq: int = -1
+    #: Per-source ``(register, scoreboard state, is_int)`` triples,
+    #: resolved once at dispatch.  Issue attempts re-plan operand reads
+    #: every retry; resolving the scoreboard state and register class here
+    #: removes two lookups per source per attempt.  The state object for
+    #: a live register is stable from allocation to release, and a source
+    #: register cannot be released while a consumer still waits (its
+    #: releaser commits after the consumer).
+    operand_plan: tuple = ()
 
     def __post_init__(self) -> None:
         self.seq = self.renamed.instruction.seq
@@ -60,12 +73,21 @@ class IssueQueue:
         capacity: int,
         scoreboard: ValueScoreboard,
         bypass: BypassNetwork,
+        track_consumers: bool = True,
     ) -> None:
         if capacity <= 0:
             raise ConfigurationError("issue queue capacity must be positive")
         self.capacity = capacity
         self.scoreboard = scoreboard
         self.bypass = bypass
+        #: Whether the per-register consumer index is maintained.  Only
+        #: the register-file-cache policies query it
+        #: (:meth:`waiting_consumers_of`); the pipeline disables it for
+        #: architectures that never ask (see
+        #: ``RegisterFileModel.needs_consumer_index``), which removes one
+        #: list append per source at dispatch and one list scan per
+        #: source at issue.
+        self.track_consumers = track_consumers
         #: Window entries keyed by sequence number.  Dispatch happens in
         #: program order and Python dictionaries preserve insertion order,
         #: so iterating the values is oldest-first *by construction* —
@@ -73,8 +95,9 @@ class IssueQueue:
         #: The dictionary object is never rebound (the pipeline hot loop
         #: holds a direct reference to it).
         self._entries: Dict[int, IssueQueueEntry] = {}
-        self._waiters: Dict[PhysicalRegister, List[IssueQueueEntry]] = {}
-        self._consumers: Dict[PhysicalRegister, List[IssueQueueEntry]] = {}
+        # Waiter/consumer indexes keyed by ``PhysicalRegister.uid``.
+        self._waiters: Dict[int, List[IssueQueueEntry]] = {}
+        self._consumers: Dict[int, List[IssueQueueEntry]] = {}
         self.max_occupancy = 0
         # Hot-path caches (both objects are immutable after construction).
         self._read_stages = bypass.read_stages
@@ -110,24 +133,37 @@ class IssueQueue:
         waiters = self._waiters
         scoreboard_get = self._scoreboard_get
         earliest_consumer_execute = self.bypass.earliest_consumer_execute
-        for register in renamed.sources:
-            consumer_list = consumers.get(register)
-            if consumer_list is None:
-                consumers[register] = [entry]
-            else:
-                consumer_list.append(entry)
-            state = scoreboard_get(register)
-            if state.ex_end_cycle is not None:
-                availability = earliest_consumer_execute(state.ex_end_cycle)
-                if availability > entry.earliest_ex_cycle:
-                    entry.earliest_ex_cycle = availability
-            else:
-                entry.pending.add(register)
-                waiter_list = waiters.get(register)
-                if waiter_list is None:
-                    waiters[register] = [entry]
+        sources = renamed.sources
+        if sources:
+            track_consumers = self.track_consumers
+            plan = []
+            for register in sources:
+                uid = register.uid
+                if track_consumers:
+                    consumer_list = consumers.get(uid)
+                    if consumer_list is None:
+                        consumers[uid] = [entry]
+                    else:
+                        consumer_list.append(entry)
+                state = scoreboard_get(register)
+                plan.append(
+                    (register, state, register.reg_class is RegisterClass.INT)
+                )
+                if state.ex_end_cycle is not None:
+                    availability = earliest_consumer_execute(state.ex_end_cycle)
+                    if availability > entry.earliest_ex_cycle:
+                        entry.earliest_ex_cycle = availability
                 else:
-                    waiter_list.append(entry)
+                    if entry.pending is None:
+                        entry.pending = {uid}
+                    else:
+                        entry.pending.add(uid)
+                    waiter_list = waiters.get(uid)
+                    if waiter_list is None:
+                        waiters[uid] = [entry]
+                    else:
+                        waiter_list.append(entry)
+            entry.operand_plan = tuple(plan)
         entries[entry.seq] = entry
         if len(entries) > self.max_occupancy:
             self.max_occupancy = len(entries)
@@ -137,12 +173,15 @@ class IssueQueue:
         """Notify waiting consumers that ``register``'s producer finishes at
         ``ex_end_cycle``.  Returns the entries that became data-ready."""
         became_ready: List[IssueQueueEntry] = []
-        waiters = self._waiters.pop(register, [])
+        uid = register.uid
+        waiters = self._waiters.pop(uid, [])
         availability = self.bypass.earliest_consumer_execute(ex_end_cycle)
         for entry in waiters:
             if entry.issued:
                 continue
-            entry.pending.discard(register)
+            pending = entry.pending
+            if pending is not None:
+                pending.discard(uid)
             entry.earliest_ex_cycle = max(entry.earliest_ex_cycle, availability)
             if entry.data_ready:
                 became_ready.append(entry)
@@ -177,9 +216,14 @@ class IssueQueue:
         entry.issued = True
         entry.issue_cycle = cycle
         self._entries.pop(entry.seq, None)
+        index_maps = (
+            (self._consumers, self._waiters) if self.track_consumers
+            else (self._waiters,)
+        )
         for register in entry.renamed.sources:
-            for index_map in (self._consumers, self._waiters):
-                waiting = index_map.get(register)
+            uid = register.uid
+            for index_map in index_maps:
+                waiting = index_map.get(uid)
                 if waiting is None:
                     continue
                 for index, candidate in enumerate(waiting):
@@ -187,7 +231,7 @@ class IssueQueue:
                         del waiting[index]
                         break
                 if not waiting:
-                    del index_map[register]
+                    del index_map[uid]
 
     def defer(self, entry: IssueQueueEntry, until_cycle: int) -> None:
         """Delay an entry (e.g. waiting for an upper-level fill)."""
@@ -201,7 +245,7 @@ class IssueQueue:
 
     def waiting_consumers_of(self, register: PhysicalRegister) -> List[IssueQueueEntry]:
         """Not-yet-issued window entries that source ``register``."""
-        return [e for e in self._consumers.get(register, []) if not e.issued]
+        return [e for e in self._consumers.get(register.uid, []) if not e.issued]
 
     def entries(self) -> List[IssueQueueEntry]:
         return list(self._entries.values())

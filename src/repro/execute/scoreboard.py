@@ -9,7 +9,7 @@ issue logic and the register-file caching policies consult it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import SimulationError
@@ -41,8 +41,11 @@ class ValueState:
     reads_from_lower: int = 0
     #: Whether the value has been written back to the (lowest) bank.
     written_back: bool = False
-    #: For architecture-specific annotations (e.g. pending fill).
-    annotations: dict = field(default_factory=dict)
+    #: For architecture-specific annotations (e.g. pending fill).  Lazily
+    #: created by whoever needs it: one state is allocated per renamed
+    #: destination, and an always-empty dictionary per state was
+    #: measurable allocation churn.
+    annotations: Optional[dict] = None
 
     @property
     def produced(self) -> bool:
@@ -54,12 +57,15 @@ class ValueScoreboard:
     """Tracks :class:`ValueState` for all live physical registers."""
 
     def __init__(self) -> None:
-        #: State per live physical register.  The dictionary object is
-        #: never rebound: the pipeline hot loop keeps a direct reference
-        #: to it to skip a method call per operand lookup.
-        self._states: Dict[PhysicalRegister, ValueState] = {}
+        #: State per live physical register, keyed by the register's
+        #: cached integer ``uid`` — integers hash at C speed, and this is
+        #: one of the hottest dictionaries in the simulator.  The
+        #: dictionary object is never rebound: the pipeline hot loop
+        #: keeps a direct reference to it to skip a method call per
+        #: operand lookup.
+        self._states: Dict[int, ValueState] = {}
         # Architected (initial) values are considered always available.
-        self._architected: set[PhysicalRegister] = set()
+        self._architected: set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -73,19 +79,19 @@ class ValueScoreboard:
             rf_ready_cycle=0,
             written_back=True,
         )
-        self._states[register] = state
-        self._architected.add(register)
+        self._states[register.uid] = state
+        self._architected.add(register.uid)
 
     def allocate(self, register: PhysicalRegister, producer_seq: int) -> ValueState:
         """Create a fresh state when ``register`` is allocated at rename."""
         state = ValueState(register=register, producer_seq=producer_seq)
-        self._states[register] = state
+        self._states[register.uid] = state
         return state
 
     def release(self, register: PhysicalRegister) -> None:
         """Drop the state when the register returns to the free list."""
-        self._states.pop(register, None)
-        self._architected.discard(register)
+        self._states.pop(register.uid, None)
+        self._architected.discard(register.uid)
 
     def get(self, register: PhysicalRegister) -> ValueState:
         """Return the state of ``register``.
@@ -96,13 +102,13 @@ class ValueScoreboard:
             If the register has no recorded state (reading a register that
             was never allocated indicates a renaming bug).
         """
-        state = self._states.get(register)
+        state = self._states.get(register.uid)
         if state is None:
             raise SimulationError(f"no scoreboard state for {register}")
         return state
 
     def contains(self, register: PhysicalRegister) -> bool:
-        return register in self._states
+        return register.uid in self._states
 
     # ------------------------------------------------------------------
     # producer-side updates
@@ -139,7 +145,7 @@ class ValueScoreboard:
     # ------------------------------------------------------------------
 
     def live_registers(self) -> list[PhysicalRegister]:
-        return list(self._states)
+        return [state.register for state in self._states.values()]
 
     def __len__(self) -> int:
         return len(self._states)

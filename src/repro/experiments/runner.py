@@ -99,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir: neither read nor write the "
                              "persistent cache")
+    parser.add_argument("--no-trace-replay", action="store_true",
+                        help="run every point with a live frontend instead of "
+                             "the trace-once/replay-many engine (slower; "
+                             "results are bit-identical either way)")
     parser.add_argument("--format", default="text", choices=REPORT_FORMATS,
                         help="report format (default: text)")
     parser.add_argument("--output", default=None,
@@ -125,6 +129,7 @@ def run_experiments(
     store: Optional[ResultStore] = None,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    use_trace_replay: bool = True,
 ) -> list[ExperimentResult]:
     """Run the named experiments, sharing one simulation cache.
 
@@ -137,7 +142,8 @@ def run_experiments(
     store = store if store is not None else ResultStore()
     cache = SimulationCache(settings, store=store)
     execute_points(plan_experiments(names, settings), store,
-                   jobs=jobs, progress=progress)
+                   jobs=jobs, progress=progress,
+                   use_trace_replay=use_trace_replay)
     results = []
     for name in names:
         started = time.time()
@@ -251,7 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         results = run_experiments(names, settings, store=store,
-                                  jobs=args.jobs, progress=progress)
+                                  jobs=args.jobs, progress=progress,
+                                  use_trace_replay=not args.no_trace_replay)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

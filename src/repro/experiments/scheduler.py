@@ -3,36 +3,59 @@
 Experiments *declare* the simulation runs they need as
 :class:`SimulationPoint` objects (see the ``plan`` function of each
 figure module); the scheduler deduplicates them, skips points already in
-the :class:`~repro.experiments.store.ResultStore` and fans the remainder
-out across worker processes with
-:class:`concurrent.futures.ProcessPoolExecutor`.
+the :class:`~repro.experiments.store.ResultStore` and executes the
+remainder with the **trace-once / replay-many** engine:
+
+* pending points are grouped by their decoded-trace key — one
+  (workload, frontend configuration) pair per group; every register-file
+  architecture and backend configuration in a sweep shares one group;
+* each group's trace is recorded once (one canonical pipeline run over
+  the full stream, see :mod:`repro.trace`) unless the
+  :class:`~repro.trace.store.TraceStore` already holds it;
+* the group's points are then *replayed* against the trace, skipping
+  workload generation and the whole frontend while reproducing the
+  live-run statistics bit for bit.
+
+With ``jobs`` > 1 the work fans out across a **warm worker pool**: the
+pool persists across calls (figure sweeps reuse it), each worker
+receives a group's trace once per batch — as shared payload bytes, or by
+key when a ``--cache-dir`` lets workers load it from disk — and caches
+it in process-global memory, and batches carry multiple points per
+dispatch instead of one task per point.
 
 Simulations are deterministic functions of ``(benchmark profile, seed,
-architecture, config)``, so a parallel run produces bit-identical
-statistics to a serial one — only wall-clock time changes.  For the
-points to survive the trip to a worker process everything in them must
-pickle, which is why the architecture factories in
-:mod:`repro.experiments.common` are frozen dataclasses rather than
-lambdas.
+architecture, config)``, so a parallel or replayed run produces
+bit-identical statistics to a serial live one — only wall-clock time
+changes.  Replay is an execution strategy, not part of a point's
+identity: :meth:`SimulationPoint.store_key` is unaffected, so replayed
+and live runs of the same point share one result-store entry.
 """
 
 from __future__ import annotations
 
+import atexit
+import math
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.store import ResultStore, simulation_key
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
 from repro.pipeline.stats import SimulationStats
 from repro.regfile.base import RegisterFileModel
+from repro.trace import DecodedTrace, TraceStore, replay_simulate, trace_key
+from repro.trace.recorder import record_trace_with_stats
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import SyntheticWorkload
 
 #: Progress sink: receives human-readable one-liners.
 ProgressCallback = Callable[[str], None]
+
+#: Upper bound on decoded traces kept warm per worker process.
+_WORKER_TRACE_CACHE_LIMIT = 4
 
 
 @dataclass(frozen=True)
@@ -62,14 +85,82 @@ class SimulationPoint:
             "warmup_instructions": self.warmup_instructions,
         }
 
+    # ------------------------------------------------------------------
+    # trace identity
+    # ------------------------------------------------------------------
 
-def run_simulation_point(point: SimulationPoint) -> SimulationStats:
-    """Simulate one point from scratch (also the worker-process entry)."""
+    def stream_length(self) -> int:
+        return self.config.max_instructions + self.warmup_instructions
+
+    def workload_identity(self) -> dict:
+        """Identity of the instruction stream this point simulates."""
+        return {
+            "kind": "synthetic-profile",
+            "benchmark": self.benchmark,
+            "instructions": self.stream_length(),
+        }
+
+    def trace_key(self) -> str:
+        """Key of the decoded trace that can drive this point."""
+        return trace_key(self.workload_identity(), self.config)
+
+
+def build_point_stream(point: SimulationPoint):
+    """The dynamic instruction stream of ``point`` (lazy iterator)."""
     workload = SyntheticWorkload(get_profile(point.benchmark))
-    stream = workload.instructions(
-        point.config.max_instructions + point.warmup_instructions
+    return workload.instructions(point.stream_length())
+
+
+def _recording_doubles_as_run(point: SimulationPoint) -> bool:
+    """Whether recording with ``point``'s own factory *is* its live run.
+
+    The recorder lifts the commit limit to the stream length and disables
+    occupancy collection; when the point already commits the whole stream
+    and asks for neither occupancy nor an explicit cycle cap, the
+    recording run's statistics equal the point's live statistics.
+    """
+    config = point.config
+    return (
+        point.warmup_instructions == 0
+        and not config.collect_occupancy
+        and config.max_cycles is None
     )
-    return simulate(stream, point.factory, point.config,
+
+
+def record_point_trace(point: SimulationPoint):
+    """Record the group's trace; harvest the recording run as ``point``'s
+    result when eligible.  Returns ``(trace, stats_or_None)``."""
+    harvest = _recording_doubles_as_run(point)
+    trace, stats = record_trace_with_stats(
+        point.benchmark,
+        build_point_stream(point),
+        point.config,
+        point.workload_identity(),
+        canonical_factory=point.factory if harvest else None,
+    )
+    return trace, (stats if harvest else None)
+
+
+def build_point_trace(point: SimulationPoint) -> DecodedTrace:
+    """Record the decoded trace that drives ``point``'s sweep group."""
+    trace, _ = record_point_trace(point)
+    return trace
+
+
+def run_simulation_point(
+    point: SimulationPoint, trace: Optional[DecodedTrace] = None
+) -> SimulationStats:
+    """Simulate one point (also the worker-process entry).
+
+    With ``trace`` the point is replayed (bit-identical, no workload
+    generation or frontend); without it the point runs live from
+    scratch, exactly as before the trace engine existed.
+    """
+    if trace is not None:
+        return replay_simulate(
+            trace, point.factory, point.config, benchmark_name=point.benchmark
+        )
+    return simulate(build_point_stream(point), point.factory, point.config,
                     benchmark_name=point.benchmark)
 
 
@@ -86,6 +177,42 @@ def dedupe_points(points: Iterable[SimulationPoint]) -> Dict[str, SimulationPoin
     return unique
 
 
+# ----------------------------------------------------------------------
+# warm worker pool
+# ----------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+
+def warm_pool(jobs: int) -> ProcessPoolExecutor:
+    """The persistent worker pool (created lazily, resized on demand).
+
+    Reusing one pool across ``execute_points`` calls keeps workers —
+    and their per-process decoded-trace caches — warm for the whole
+    runner invocation instead of paying process spawn per figure.
+    """
+    global _POOL, _POOL_JOBS
+    if _POOL is not None and _POOL_JOBS != jobs:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (tests, interpreter exit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
 def fan_out(
     tasks: Sequence[Any],
     worker: Callable[[Any], Any],
@@ -97,13 +224,13 @@ def fan_out(
 
     The shared fan-out primitive behind the experiment scheduler and the
     differential validation runner.  With ``jobs`` > 1 the tasks are
-    shipped to a :class:`~concurrent.futures.ProcessPoolExecutor`;
-    ``remote_worker`` (default: ``worker``) is used there instead, so
-    callers can substitute a transport-friendly wrapper (e.g. one that
-    returns plain dictionaries) — it must be a picklable module-level
-    callable, as must the tasks.  ``on_result`` fires once per completed
-    task, in completion order, with ``(task_index, result)``; results
-    are returned in task order regardless.
+    shipped to the persistent :func:`warm_pool`; ``remote_worker``
+    (default: ``worker``) is used there instead, so callers can
+    substitute a transport-friendly wrapper (e.g. one that returns plain
+    dictionaries) — it must be a picklable module-level callable, as
+    must the tasks.  ``on_result`` fires once per completed task, in
+    completion order, with ``(task_index, result)``; results are
+    returned in task order regardless.
     """
     tasks = list(tasks)
     results: List[Any] = [None] * len(tasks)
@@ -119,7 +246,8 @@ def fan_out(
         return results
 
     submit_worker = remote_worker if remote_worker is not None else worker
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    pool = warm_pool(jobs)
+    try:
         futures = {
             pool.submit(submit_worker, task): index
             for index, task in enumerate(tasks)
@@ -129,19 +257,111 @@ def fan_out(
             finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
             for future in finished:
                 complete(futures[future], future.result())
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor.  Tear the persistent
+        # pool down before re-raising so the *next* fan-out call gets a
+        # fresh pool instead of inheriting the broken one forever.
+        shutdown_pool()
+        raise
     return results
 
+
+# ----------------------------------------------------------------------
+# trace-replay batching
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _RecordTask:
+    """Record one group's trace in a worker, then replay its first point."""
+
+    point: SimulationPoint
+    cache_dir: Optional[str]
+
+
+@dataclass(frozen=True)
+class _TraceBatch:
+    """Several points of one group, shipped to a worker in one dispatch."""
+
+    points: Tuple[SimulationPoint, ...]
+    trace_key: str
+    #: Trace payload shipped once per batch when workers cannot load the
+    #: trace from a shared ``cache_dir``.
+    payload: Optional[dict]
+    cache_dir: Optional[str]
+
+
+#: Per-worker-process cache of decoded traces (warm across batches).
+_WORKER_TRACES: Dict[str, DecodedTrace] = {}
+
+
+def _worker_trace(key: str, payload: Optional[dict],
+                  cache_dir: Optional[str],
+                  fallback_point: SimulationPoint) -> DecodedTrace:
+    trace = _WORKER_TRACES.get(key)
+    if trace is None:
+        if payload is not None:
+            trace = DecodedTrace.from_payload(payload)
+        elif cache_dir:
+            trace = TraceStore(cache_dir).get(key)
+        if trace is None:
+            # Disk entry vanished or was corrupt: re-record locally.
+            trace = build_point_trace(fallback_point)
+        while len(_WORKER_TRACES) >= _WORKER_TRACE_CACHE_LIMIT:
+            _WORKER_TRACES.pop(next(iter(_WORKER_TRACES)))
+        _WORKER_TRACES[key] = trace
+    return trace
+
+
+def _record_remote(task: _RecordTask) -> Tuple[Optional[dict], dict]:
+    """Worker entry for a :class:`_RecordTask`.
+
+    Returns ``(trace_payload_or_None, first_point_stats_dict)``; the
+    payload is ``None`` when the trace was persisted to the shared
+    ``cache_dir`` instead of being shipped back.
+    """
+    point = task.point
+    trace, recorded_stats = record_point_trace(point)
+    while len(_WORKER_TRACES) >= _WORKER_TRACE_CACHE_LIMIT:
+        _WORKER_TRACES.pop(next(iter(_WORKER_TRACES)))
+    _WORKER_TRACES[trace.key] = trace
+    if recorded_stats is not None:
+        stats = recorded_stats.to_dict()
+    else:
+        stats = run_simulation_point(point, trace).to_dict()
+    if task.cache_dir:
+        TraceStore(task.cache_dir).put(trace)
+        return None, stats
+    return trace.to_payload(), stats
+
+
+def _batch_remote(batch: _TraceBatch) -> List[dict]:
+    """Worker entry for a :class:`_TraceBatch`."""
+    trace = _worker_trace(
+        batch.trace_key, batch.payload, batch.cache_dir, batch.points[0]
+    )
+    return [run_simulation_point(point, trace).to_dict() for point in batch.points]
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
 
 def execute_points(
     points: Sequence[SimulationPoint],
     store: ResultStore,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    use_trace_replay: bool = True,
+    trace_store: Optional[TraceStore] = None,
 ) -> Dict[str, int]:
     """Ensure every point's result is present in ``store``.
 
     Returns a summary dictionary (``requested``, ``unique``, ``cached``,
-    ``executed``, ``elapsed_seconds``) that the runner logs.
+    ``executed``, ``traces_recorded``, ``traces_reused``,
+    ``elapsed_seconds``) that the runner logs.  ``use_trace_replay=False``
+    (the ``--no-trace-replay`` escape hatch) runs every point live with
+    its own workload generation and frontend, as the engine did before
+    the trace subsystem existed.
     """
     started = time.time()
     points = list(points)
@@ -160,41 +380,158 @@ def execute_points(
         f"schedule: {requested} runs requested, {len(unique)} unique, "
         f"{cached} cached, {len(pending)} to simulate"
         + (f" on {jobs} workers" if jobs > 1 and pending else "")
+        + ("" if use_trace_replay or not pending else " (live frontend)")
     )
 
     done = 0
+    total_pending = len(pending)
 
     def record(key: str, point: SimulationPoint, stats: SimulationStats) -> None:
         nonlocal done
         store.put(key, stats, metadata=point.metadata())
         done += 1
         say(
-            f"[{done}/{len(pending)}] {point.benchmark} @ {point.architecture} "
+            f"[{done}/{total_pending}] {point.benchmark} @ {point.architecture} "
             f"(t={time.time() - started:.1f}s)"
         )
 
-    pending_items = list(pending.items())
-
-    def on_result(index: int, payload) -> None:
-        key, point = pending_items[index]
-        stats = (
-            SimulationStats.from_dict(payload) if isinstance(payload, dict)
-            else payload
-        )
-        record(key, point, stats)
-
-    fan_out(
-        [point for _, point in pending_items],
-        worker=run_simulation_point,
-        jobs=jobs,
-        remote_worker=_execute_remote,
-        on_result=on_result,
-    )
-
-    return {
+    counters = {
         "requested": requested,
         "unique": len(unique),
         "cached": cached,
         "executed": len(pending),
-        "elapsed_seconds": round(time.time() - started, 1),
+        "traces_recorded": 0,
+        "traces_reused": 0,
     }
+
+    if not pending:
+        counters["elapsed_seconds"] = round(time.time() - started, 1)
+        return counters
+
+    if not use_trace_replay:
+        pending_items = list(pending.items())
+
+        def on_result(index: int, payload) -> None:
+            key, point = pending_items[index]
+            stats = (
+                SimulationStats.from_dict(payload) if isinstance(payload, dict)
+                else payload
+            )
+            record(key, point, stats)
+
+        fan_out(
+            [point for _, point in pending_items],
+            worker=run_simulation_point,
+            jobs=jobs,
+            remote_worker=_execute_remote,
+            on_result=on_result,
+        )
+        counters["elapsed_seconds"] = round(time.time() - started, 1)
+        return counters
+
+    traces = trace_store if trace_store is not None else TraceStore(store.cache_dir)
+
+    # Group the pending points by the decoded trace that can drive them.
+    groups: Dict[str, List[Tuple[str, SimulationPoint]]] = {}
+    for key, point in pending.items():
+        groups.setdefault(point.trace_key(), []).append((key, point))
+
+    if jobs <= 1:
+        for group_key, members in groups.items():
+            trace = traces.get(group_key)
+            recorded_stats = None
+            if trace is None:
+                trace, recorded_stats = record_point_trace(members[0][1])
+                traces.put(trace)
+                counters["traces_recorded"] += 1
+            else:
+                counters["traces_reused"] += 1
+            for index, (key, point) in enumerate(members):
+                if index == 0 and recorded_stats is not None:
+                    record(key, point, recorded_stats)
+                else:
+                    record(key, point, run_simulation_point(point, trace))
+        counters["elapsed_seconds"] = round(time.time() - started, 1)
+        return counters
+
+    # Parallel: phase R records one trace per missing group (each worker
+    # also replays the group's first point while the trace is hot), then
+    # phase B batches the remaining points so each worker receives a
+    # group's trace once per dispatch rather than once per point.
+    on_disk = bool(traces.trace_dir)
+    payloads: Dict[str, Optional[dict]] = {}
+    record_groups: List[Tuple[str, List[Tuple[str, SimulationPoint]]]] = []
+    batch_members: List[Tuple[str, SimulationPoint, str]] = []
+
+    for group_key, members in groups.items():
+        trace = traces.get(group_key)
+        if trace is None:
+            record_groups.append((group_key, members))
+        else:
+            counters["traces_reused"] += 1
+            payloads[group_key] = None if on_disk else trace.to_payload()
+            batch_members.extend(
+                (key, point, group_key) for key, point in members
+            )
+
+    if record_groups:
+        counters["traces_recorded"] += len(record_groups)
+
+        def on_recorded(index: int, result) -> None:
+            group_key, members = record_groups[index]
+            payload, stats_dict = result
+            payloads[group_key] = payload  # None when persisted to disk
+            first_key, first_point = members[0]
+            record(first_key, first_point, SimulationStats.from_dict(stats_dict))
+            batch_members.extend(
+                (key, point, group_key) for key, point in members[1:]
+            )
+
+        fan_out(
+            [
+                _RecordTask(point=members[0][1], cache_dir=traces.cache_dir if on_disk else None)
+                for _, members in record_groups
+            ],
+            worker=_record_remote,
+            jobs=jobs,
+            on_result=on_recorded,
+        )
+
+    if batch_members:
+        # Chunk each group's members so the group spreads across workers;
+        # a worker decodes/loads the trace once per batch and keeps it
+        # warm in its process-global cache for later batches.
+        batches: List[Tuple[_TraceBatch, List[Tuple[str, SimulationPoint]]]] = []
+        by_group: Dict[str, List[Tuple[str, SimulationPoint]]] = {}
+        for key, point, group_key in batch_members:
+            by_group.setdefault(group_key, []).append((key, point))
+        for group_key, members in by_group.items():
+            chunk = max(1, math.ceil(len(members) / jobs))
+            for start in range(0, len(members), chunk):
+                part = members[start:start + chunk]
+                batches.append(
+                    (
+                        _TraceBatch(
+                            points=tuple(point for _, point in part),
+                            trace_key=group_key,
+                            payload=payloads.get(group_key),
+                            cache_dir=traces.cache_dir if on_disk else None,
+                        ),
+                        part,
+                    )
+                )
+
+        def on_batch(index: int, results: List[dict]) -> None:
+            _, part = batches[index]
+            for (key, point), stats_dict in zip(part, results):
+                record(key, point, SimulationStats.from_dict(stats_dict))
+
+        fan_out(
+            [batch for batch, _ in batches],
+            worker=_batch_remote,
+            jobs=jobs,
+            on_result=on_batch,
+        )
+
+    counters["elapsed_seconds"] = round(time.time() - started, 1)
+    return counters

@@ -112,6 +112,50 @@ class FetchUnit:
         assert self._pending is None
         self._pending = inst
 
+    # ------------------------------------------------------------------
+    # frontend-source protocol (shared with repro.trace.TraceReplayer)
+    # ------------------------------------------------------------------
+
+    @property
+    def icache_hits(self) -> int:
+        """I-cache hits observed by this frontend (for final statistics)."""
+        return self.icache.hits
+
+    @property
+    def icache_misses(self) -> int:
+        """I-cache misses observed by this frontend (for final statistics)."""
+        return self.icache.misses
+
+    def on_branch_writeback(self, instruction, fetched: FetchedInstruction,
+                            ex_end_cycle: int) -> None:
+        """A fetched branch wrote back: train the predictor and unblock fetch.
+
+        This is the only backend→frontend edge of the pipeline; routing it
+        through the frontend object lets a trace replayer substitute its
+        own (predictor-free) handling without touching the pipeline.
+        """
+        self.predictor.update(
+            instruction.pc,
+            instruction.branch_taken,
+            fetched.history_checkpoint,
+            fetched.predicted_taken,
+        )
+        self.branch_resolved(instruction.seq, ex_end_cycle)
+
+    def fetch_into(self, decode_queue, stats, cycle: int) -> None:
+        """Run one fetch stage: append this cycle's group to ``decode_queue``
+        and account the fetched instructions/branch predictions in ``stats``."""
+        group = self.fetch(cycle)
+        if not group:
+            return
+        branches = 0
+        for fetched in group:
+            decode_queue.append(fetched)
+            if fetched.instruction.is_branch:
+                branches += 1
+        stats.branch_predictions += branches
+        stats.fetched_instructions += len(group)
+
     def fetch(self, cycle: int) -> List[FetchedInstruction]:
         """Fetch the group of instructions for ``cycle``.
 

@@ -26,14 +26,13 @@ optimizations must leave ``SimulationStats`` bit-identical.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.execute.bypass import BypassNetwork
 from repro.execute.functional_units import FunctionalUnitPool
 from repro.execute.issue_queue import IssueQueue, IssueQueueEntry
-from repro.execute.rob import ReorderBuffer
+from repro.execute.rob import ReorderBuffer, ROBEntry
 from repro.execute.scoreboard import ValueScoreboard
 from repro.frontend.btb import BranchTargetBuffer
 from repro.frontend.fetch import FetchedInstruction, FetchUnit
@@ -45,16 +44,13 @@ from repro.memsys.lsq import LoadStoreQueue
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.stats import OccupancySample, SimulationStats
 from repro.regfile.base import OperandAccess, OperandSource, RegisterFileModel
-from repro.rename.renamer import PhysicalRegister, RenamedInstruction, Renamer
+from repro.rename.renamer import PhysicalRegister, Renamer
 
 
-@dataclass(slots=True)
-class _Completion:
-    """An instruction scheduled to complete (write back) at a given cycle."""
-
-    renamed: RenamedInstruction
-    ex_end_cycle: int
-    fetched: Optional[FetchedInstruction]
+# A completion (write back scheduled for a given cycle) is a plain
+# ``(renamed, ex_end_cycle, fetched)`` tuple: one is built per issued
+# instruction and unpacked once at write-back, so a class adds nothing
+# but constructor overhead.
 
 
 class Processor:
@@ -62,11 +58,12 @@ class Processor:
 
     def __init__(
         self,
-        workload: Iterable[DynamicInstruction],
+        workload: Optional[Iterable[DynamicInstruction]],
         regfile_factory: Callable[[], RegisterFileModel],
         config: Optional[ProcessorConfig] = None,
         benchmark_name: str = "workload",
         commit_observer=None,
+        frontend=None,
     ) -> None:
         self.config = config or ProcessorConfig()
         self.benchmark_name = benchmark_name
@@ -94,22 +91,42 @@ class Processor:
         self.renamer = Renamer(self.config.num_int_physical, self.config.num_fp_physical)
         self._seed_architected_registers()
 
-        self.window = IssueQueue(self.config.instruction_window, self.scoreboard, self.bypass)
+        self.window = IssueQueue(
+            self.config.instruction_window, self.scoreboard, self.bypass,
+            track_consumers=int_rf.needs_consumer_index,
+        )
         self.rob = ReorderBuffer(self.config.rob_size)
         self.lsq = LoadStoreQueue(self.config.lsq_size)
         self.fu_pool = FunctionalUnitPool(self.config.functional_units)
 
-        self.icache = CacheModel(self.config.icache, name="icache")
         self.dcache = CacheModel(self.config.dcache, name="dcache")
-        self.predictor = GSharePredictor(self.config.branch_predictor_entries)
-        self.btb = BranchTargetBuffer(self.config.btb_entries)
-        self.fetch_unit = FetchUnit(
-            iter(workload), self.icache, self.predictor, self.btb,
-            width=self.config.fetch_width,
-        )
+        if frontend is not None:
+            # The frontend-source seam: anything implementing the protocol
+            # of :class:`~repro.frontend.fetch.FetchUnit` (``exhausted``,
+            # ``fetch_into``, ``on_branch_writeback``, ``icache_hits`` /
+            # ``icache_misses``) can drive the pipeline — notably
+            # :class:`repro.trace.TraceReplayer`, which replays a recorded
+            # decoded stream in place of live fetch.
+            self.icache = None
+            self.predictor = None
+            self.btb = None
+            self.fetch_unit = frontend
+        else:
+            if workload is None:
+                raise ConfigurationError(
+                    "a workload stream is required unless a frontend is given"
+                )
+            self.icache = CacheModel(self.config.icache, name="icache")
+            self.predictor = GSharePredictor(self.config.branch_predictor_entries)
+            self.btb = BranchTargetBuffer(self.config.btb_entries)
+            self.fetch_unit = FetchUnit(
+                iter(workload), self.icache, self.predictor, self.btb,
+                width=self.config.fetch_width,
+            )
 
         self._decode_queue: deque[FetchedInstruction] = deque()
-        self._completions: Dict[int, List[_Completion]] = {}
+        # cycle -> [(renamed, ex_end_cycle, fetched), ...]
+        self._completions: Dict[int, List[tuple]] = {}
 
         # Collaborator dictionaries that are mutated in place and never
         # rebound (scoreboard states, ROB entries), plus reusable operand
@@ -119,7 +136,7 @@ class Processor:
         self._rob_entries = self.rob._entries
         self._int_accesses: List[OperandAccess] = []
         self._fp_accesses: List[OperandAccess] = []
-        self._missing_operands: List[PhysicalRegister] = []
+        self._missing_operands: List[OperandAccess] = []
 
         self.stats = SimulationStats(
             benchmark=benchmark_name,
@@ -224,13 +241,16 @@ class Processor:
         rob = self.rob
         rob_entries = self._rob_entries
         renamer = self.renamer
+        int_free = renamer._int_free
+        fp_free = renamer._fp_free
         scoreboard = self.scoreboard
         sb_states = self._sb_states
         lsq = self.lsq
         value_reads = stats.value_read_distribution
+        committed = stats.committed_instructions
         for rob_entry in rob.committable(self.config.commit_width, cycle):
-            if stats.committed_instructions >= max_instructions:
-                return
+            if committed >= max_instructions:
+                break
             renamed = rob_entry.renamed
             instruction = renamed.instruction
             # Inlined ``rob.commit``: the committable entries are the head
@@ -240,9 +260,13 @@ class Processor:
                 raise SimulationError(
                     f"commit out of order: head is {head_seq}, got {instruction.seq}"
                 )
-            released = renamer.commit(renamed)
+            # Inlined ``renamer.commit``: release the previous mapping of
+            # the committed destination.
+            released = renamed.previous_dest
             if released is not None:
-                state = sb_states.get(released)
+                (int_free if released.reg_class is RegisterClass.INT
+                 else fp_free).release(released.index)
+                state = sb_states.get(released.uid)
                 if state is not None:
                     total_reads = (
                         state.reads_from_bypass
@@ -258,9 +282,10 @@ class Processor:
                 lsq.release(instruction.seq)
             elif op_class is OpClass.LOAD:
                 lsq.release(instruction.seq)
-            stats.committed_instructions += 1
+            committed += 1
             if observer is not None:
                 observer.on_commit(renamed, cycle)
+        stats.committed_instructions = committed
 
     # ------------------------------------------------------------------
     # write-back / completion
@@ -270,19 +295,16 @@ class Processor:
         completions = self._completions.pop(cycle, None)
         if completions is None:
             return
-        sb_states = self._sb_states
         window = self.window
         rob_entries = self._rob_entries
         stats = self.stats
-        for completion in completions:
-            renamed = completion.renamed
+        for renamed, ex_end_cycle, fetched in completions:
             instruction = renamed.instruction
             dest = renamed.dest
             if dest is not None:
-                try:
-                    state = sb_states[dest]
-                except KeyError:
-                    raise SimulationError(f"no scoreboard state for {dest}") from None
+                state = renamed.dest_state
+                if state is None:
+                    raise SimulationError(f"no scoreboard state for {dest}")
                 regfile = self._int_rf if dest.reg_class is RegisterClass.INT else self._fp_rf
                 rf_ready = regfile.writeback(dest, state, cycle, window)
                 state.rf_ready_cycle = rf_ready
@@ -294,17 +316,12 @@ class Processor:
             rob_entry.completed = True
             rob_entry.complete_cycle = cycle
 
-            if instruction.is_branch and completion.fetched is not None:
-                fetched = completion.fetched
-                self.predictor.update(
-                    instruction.pc,
-                    instruction.branch_taken,
-                    fetched.history_checkpoint,
-                    fetched.predicted_taken,
+            if instruction.is_branch and fetched is not None:
+                self.fetch_unit.on_branch_writeback(
+                    instruction, fetched, ex_end_cycle
                 )
                 if fetched.mispredicted:
                     stats.branch_mispredictions += 1
-                self.fetch_unit.branch_resolved(instruction.seq, completion.ex_end_cycle)
 
     # ------------------------------------------------------------------
     # issue (wakeup / select / operand read planning)
@@ -332,6 +349,8 @@ class Processor:
 
         # Operand read planning into the reusable per-class slot lists
         # (the former per-attempt dictionary was pure allocation churn).
+        # The (register, scoreboard state, class) triples were resolved
+        # once at dispatch (``entry.operand_plan``).
         int_rf = self._int_rf
         fp_rf = self._fp_rf
         int_accesses = self._int_accesses
@@ -340,13 +359,7 @@ class Processor:
         int_accesses.clear()
         fp_accesses.clear()
         missing.clear()
-        sb_states = self._sb_states
-        for register in renamed.sources:
-            try:
-                state = sb_states[register]
-            except KeyError:
-                raise SimulationError(f"no scoreboard state for {register}") from None
-            is_int = register.reg_class is RegisterClass.INT
+        for register, state, is_int in entry.operand_plan:
             access = (int_rf if is_int else fp_rf).plan_operand_read(
                 register, state, cycle
             )
@@ -359,7 +372,7 @@ class Processor:
                 return False
             access.state = state
             if source is OperandSource.MISS:
-                missing.append(register)
+                missing.append(access)
             elif is_int:
                 int_accesses.append(access)
             else:
@@ -387,7 +400,7 @@ class Processor:
     def _handle_upper_level_misses(
         self,
         entry: IssueQueueEntry,
-        missing: List[PhysicalRegister],
+        missing: List[OperandAccess],
         int_accesses: List[OperandAccess],
         fp_accesses: List[OperandAccess],
         cycle: int,
@@ -407,10 +420,10 @@ class Processor:
                     if access.source is OperandSource.FILE:
                         self._regfile(access.register).pin_operand(access.register)
         latest_completion: Optional[int] = None
-        for register in missing:
-            state = self.scoreboard.get(register)
+        for access in missing:
+            register = access.register
             completion = self._regfile(register).request_fill(
-                register, state, cycle, pin=is_oldest
+                register, access.state, cycle, pin=is_oldest
             )
             if completion is not None:
                 latest_completion = max(latest_completion or 0, completion)
@@ -439,8 +452,19 @@ class Processor:
             self._fp_rf.claim_reads(fp_accesses)
             self._record_operand_reads(fp_accesses, stats, bypass)
 
-        latency = self._execution_latency(instruction)
-        self.fu_pool.issue(op_class, cycle, latency)
+        # Inlined ``_execution_latency``: the common (non-memory) case is
+        # a plain field read, and loads are the only class with real work.
+        if op_class is OpClass.LOAD:
+            address = instruction.mem_address or 0
+            if self.lsq.forwarding_store(instruction.seq, address) is not None:
+                latency = 2  # address generation + forward from the store queue
+            else:
+                latency = 1 + self.dcache.access(address).latency
+        elif op_class is OpClass.STORE:
+            latency = 1  # address generation; data is written at commit
+        else:
+            latency = instruction.latency or 1
+        self.fu_pool.issue_unchecked(op_class, cycle, latency)
 
         ex_start = cycle + self.read_stages
         ex_end = ex_start + latency - 1
@@ -459,17 +483,15 @@ class Processor:
 
         dest = renamed.dest
         if dest is not None:
-            try:
-                state = self._sb_states[dest]
-            except KeyError:
-                raise SimulationError(f"no scoreboard state for {dest}") from None
+            state = renamed.dest_state
+            if state is None:
+                raise SimulationError(f"no scoreboard state for {dest}")
             state.ex_end_cycle = ex_end
             window.wakeup(dest, ex_end)
             regfile = self._int_rf if dest.reg_class is RegisterClass.INT else self._fp_rf
             regfile.on_issue(entry, cycle, window, self.scoreboard)
 
-        fetched = renamed.annotations.get("fetched")
-        completion = _Completion(renamed=renamed, ex_end_cycle=ex_end, fetched=fetched)
+        completion = (renamed, ex_end, renamed.fetched)
         bucket = self._completions.get(ex_end + 1)
         if bucket is None:
             self._completions[ex_end + 1] = [completion]
@@ -491,19 +513,6 @@ class Processor:
                 bypass.operands_from_regfile += 1
                 stats.operands_from_file += 1
 
-    def _execution_latency(self, instruction: DynamicInstruction) -> int:
-        op_class = instruction.op_class
-        if op_class is OpClass.LOAD:
-            address = instruction.mem_address or 0
-            forwarding = self.lsq.forwarding_store(instruction.seq, address)
-            if forwarding is not None:
-                return 2  # address generation + forward from the store queue
-            access = self.dcache.access(address)
-            return 1 + access.latency
-        if op_class is OpClass.STORE:
-            return 1  # address generation; data is written at commit
-        return instruction.latency or 1
-
     # ------------------------------------------------------------------
     # decode / rename / dispatch
     # ------------------------------------------------------------------
@@ -521,6 +530,9 @@ class Processor:
         lsq = self.lsq
         renamer = self.renamer
         scoreboard = self.scoreboard
+        # Direct free-list views for the inlined ``renamer.can_rename``.
+        int_free = renamer._int_free._free
+        fp_free = renamer._fp_free._free
         dispatched = 0
         while decode_queue and dispatched < decode_width:
             fetched = decode_queue[0]
@@ -538,16 +550,25 @@ class Processor:
             if is_memory and lsq.full:
                 stats.dispatch_stalls_lsq += 1
                 break
-            if not renamer.can_rename(instruction):
+            # Inlined ``renamer.can_rename``.
+            dest = instruction.dest
+            if dest is not None and not (
+                int_free if dest.reg_class is RegisterClass.INT else fp_free
+            ):
                 stats.dispatch_stalls_registers += 1
                 break
 
             decode_queue.popleft()
             renamed = renamer.rename(instruction)
-            renamed.annotations["fetched"] = fetched
+            renamed.fetched = fetched
             if renamed.dest is not None:
-                scoreboard.allocate(renamed.dest, instruction.seq)
-            rob.dispatch(renamed, cycle)
+                renamed.dest_state = scoreboard.allocate(renamed.dest, instruction.seq)
+            # Inlined ``rob.dispatch``: capacity and program order were
+            # already checked by this stage (the stream's seq is
+            # monotonic), so insert the entry directly.
+            rob_entries[instruction.seq] = ROBEntry(
+                renamed=renamed, dispatch_cycle=cycle
+            )
             window.dispatch(renamed, cycle)
             if is_memory:
                 is_store = op_class is OpClass.STORE
@@ -589,15 +610,7 @@ class Processor:
         fetch_unit = self.fetch_unit
         if fetch_unit.exhausted:
             return
-        group = fetch_unit.fetch(cycle)
-        if not group:
-            return
-        stats = self.stats
-        for fetched in group:
-            decode_queue.append(fetched)
-            if fetched.instruction.is_branch:
-                stats.branch_predictions += 1
-        stats.fetched_instructions += len(group)
+        fetch_unit.fetch_into(decode_queue, self.stats, cycle)
 
     # ------------------------------------------------------------------
     # statistics
@@ -611,7 +624,7 @@ class Processor:
             produced_sources = []
             all_produced = True
             for register in entry.renamed.sources:
-                state = sb_states.get(register)
+                state = sb_states.get(register.uid)
                 if state is None:
                     raise SimulationError(f"no scoreboard state for {register}")
                 if state.ex_end_cycle is not None and state.ex_end_cycle <= cycle:
@@ -624,8 +637,8 @@ class Processor:
         self.stats.record_occupancy(OccupancySample(len(needed), len(ready)))
 
     def _finalize_statistics(self) -> None:
-        self.stats.icache_hits = self.icache.hits
-        self.stats.icache_misses = self.icache.misses
+        self.stats.icache_hits = self.fetch_unit.icache_hits
+        self.stats.icache_misses = self.fetch_unit.icache_misses
         self.stats.dcache_hits = self.dcache.hits
         self.stats.dcache_misses = self.dcache.misses
         self.stats.loads_forwarded = self.lsq.forwarded_loads
@@ -640,13 +653,14 @@ class Processor:
 
 
 def simulate(
-    workload: Iterable[DynamicInstruction],
+    workload: Optional[Iterable[DynamicInstruction]],
     regfile_factory: Callable[[], RegisterFileModel],
     config: Optional[ProcessorConfig] = None,
     benchmark_name: str = "workload",
     commit_observer=None,
+    frontend=None,
 ) -> SimulationStats:
     """Convenience wrapper: build a :class:`Processor`, run it, return stats."""
     processor = Processor(workload, regfile_factory, config, benchmark_name,
-                          commit_observer=commit_observer)
+                          commit_observer=commit_observer, frontend=frontend)
     return processor.run()

@@ -23,9 +23,14 @@ class OccupancySample:
     live_ready: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationStats:
-    """Counters collected during one simulation run."""
+    """Counters collected during one simulation run.
+
+    Slotted: the pipeline bumps these counters several times per
+    simulated instruction, and slot access skips the per-instance
+    dictionary.
+    """
 
     benchmark: str = ""
     architecture: str = ""

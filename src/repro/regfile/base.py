@@ -50,7 +50,7 @@ class OperandSource(enum.Enum):
     NOT_READY = "not_ready"
 
 
-@dataclass
+@dataclass(slots=True)
 class OperandAccess:
     """The plan for obtaining one source operand."""
 
@@ -77,6 +77,10 @@ class RegisterFileModel(ABC):
     read_stages: int = 1
     #: Number of bypass levels implemented.
     bypass_levels: int = 1
+    #: Whether this architecture's policies query the issue window's
+    #: per-register consumer index (``waiting_consumers_of``).  Single
+    #: level organisations never do, so the window skips maintaining it.
+    needs_consumer_index: bool = False
     #: Human-readable architecture name used in reports.
     name: str = "register-file"
 

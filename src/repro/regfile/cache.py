@@ -41,6 +41,9 @@ class RegisterFileCache(RegisterFileModel):
 
     read_stages = 1
     bypass_levels = 1
+    #: The ready-caching policy and prefetch-first-pair both walk the
+    #: window's per-register consumer lists.
+    needs_consumer_index = True
 
     def __init__(
         self,
@@ -68,19 +71,19 @@ class RegisterFileCache(RegisterFileModel):
         # A transfer reads the lowest level and then writes the uppermost
         # level; the bus is busy for the whole transfer.
         self.buses = TransferBusSet(num_buses, transfer_latency=lower_read_latency + 1)
-        self._upper: PseudoLRU[PhysicalRegister] = PseudoLRU(upper_capacity)
+        self._upper: PseudoLRU[int] = PseudoLRU(upper_capacity)  # keyed by register uid
         # Direct view of the upper level's residency dictionary (never
         # rebound): issue-side residency checks run several times per
         # instruction and skip the ``__contains__`` call this way.
         self._upper_slots = self._upper._slot_of
-        self._pending_fills: Dict[PhysicalRegister, int] = {}
+        self._pending_fills: Dict[int, int] = {}
         #: Registers pinned until read because the oldest waiting instruction
         #: needs them.  Pinned entries are never evicted; since at most the
         #: two operands of one instruction are pinned and the upper level has
         #: at least four entries, an evictable way always exists and the
         #: oldest instruction is guaranteed to make forward progress even
         #: with a tiny, heavily thrashed upper level.
-        self._read_pinned: set[PhysicalRegister] = set()
+        self._read_pinned: set[int] = set()
         self.name = name or (
             f"register file cache ({self.caching_policy.name} caching + "
             f"{self.fetch_policy.name})"
@@ -102,7 +105,9 @@ class RegisterFileCache(RegisterFileModel):
     # ------------------------------------------------------------------
 
     def begin_cycle(self, cycle: int) -> None:
-        self.upper_read_ports.begin_cycle()
+        # Direct store instead of ``upper_read_ports.begin_cycle()``: this
+        # runs every simulated cycle and the method call is pure overhead.
+        self.upper_read_ports._used = 0
         pending = self._pending_fills
         if pending:
             completed = [reg for reg, done in pending.items() if done <= cycle]
@@ -113,9 +118,9 @@ class RegisterFileCache(RegisterFileModel):
             self.lower_writes.forget_before(cycle)
             self.upper_result_writes.forget_before(cycle)
 
-    def _insert_upper(self, register: PhysicalRegister, cycle: int) -> None:
+    def _insert_upper(self, uid: int, cycle: int) -> None:
         evicted = self._upper.insert(
-            register,
+            uid,
             can_evict=lambda candidate: candidate not in self._read_pinned,
         )
         if evicted is not None:
@@ -123,11 +128,11 @@ class RegisterFileCache(RegisterFileModel):
 
     def present_in_upper(self, register: PhysicalRegister) -> bool:
         """Whether the uppermost level currently holds ``register``."""
-        return register in self._upper
+        return register.uid in self._upper
 
     def fill_in_flight(self, register: PhysicalRegister) -> Optional[int]:
         """Completion cycle of an in-flight fill for ``register``, if any."""
-        return self._pending_fills.get(register)
+        return self._pending_fills.get(register.uid)
 
     # ------------------------------------------------------------------
     # reads (issue side)
@@ -148,13 +153,14 @@ class RegisterFileCache(RegisterFileModel):
             # The single bypass level catches results exactly one cycle
             # after the producer finishes.
             return OperandAccess(register, OperandSource.BYPASS)
-        if register in self._upper_slots:
+        uid = register.uid
+        if uid in self._upper_slots:
             # Mark the entry hot: the instruction planning this read may be
             # waiting for another operand, and this copy must survive until
             # both are available.
-            self._upper.touch(register)
+            self._upper.touch(uid)
             return OperandAccess(register, OperandSource.FILE)
-        pending = self._pending_fills.get(register)
+        pending = self._pending_fills.get(uid)
         if pending is not None:
             return OperandAccess(register, OperandSource.NOT_READY, retry_cycle=pending)
         if state.written_back and state.rf_ready_cycle is not None \
@@ -164,7 +170,10 @@ class RegisterFileCache(RegisterFileModel):
         return OperandAccess(register, OperandSource.NOT_READY, retry_cycle=retry)
 
     def can_claim_reads(self, accesses: Sequence[OperandAccess]) -> bool:
-        needed = sum(1 for access in accesses if access.source is OperandSource.FILE)
+        needed = 0
+        for access in accesses:
+            if access.source is OperandSource.FILE:
+                needed += 1
         if needed == 0:
             return True
         available = self.upper_read_ports.available_capped(needed)
@@ -181,13 +190,13 @@ class RegisterFileCache(RegisterFileModel):
             if source is OperandSource.FILE:
                 needed += 1
                 self.reads_from_upper += 1
-                register = access.register
-                if register in upper_slots:
-                    self._upper.touch(register)
-                read_pinned.discard(register)
+                uid = access.register.uid
+                if uid in upper_slots:
+                    self._upper.touch(uid)
+                read_pinned.discard(uid)
             elif source is OperandSource.BYPASS:
                 self.reads_from_bypass += 1
-                read_pinned.discard(access.register)
+                read_pinned.discard(access.register.uid)
         if needed:
             self.upper_read_ports.claim_capped(needed)
 
@@ -196,8 +205,9 @@ class RegisterFileCache(RegisterFileModel):
     # ------------------------------------------------------------------
 
     def pin_operand(self, register: PhysicalRegister) -> None:
-        if register in self._upper or register in self._pending_fills:
-            self._read_pinned.add(register)
+        uid = register.uid
+        if uid in self._upper or uid in self._pending_fills:
+            self._read_pinned.add(uid)
 
     def request_fill(
         self,
@@ -212,9 +222,10 @@ class RegisterFileCache(RegisterFileModel):
         Returns the completion cycle, or ``None`` when the transfer cannot
         start (value not yet written back, or all buses busy).
         """
-        if register in self._upper:
+        uid = register.uid
+        if uid in self._upper:
             return cycle
-        pending = self._pending_fills.get(register)
+        pending = self._pending_fills.get(uid)
         if pending is not None:
             return pending
         if not state.written_back or state.rf_ready_cycle is None:
@@ -224,9 +235,9 @@ class RegisterFileCache(RegisterFileModel):
         completion = self.buses.try_start_transfer(cycle)
         if completion is None:
             return None
-        self._pending_fills[register] = completion
+        self._pending_fills[uid] = completion
         if pin:
-            self._read_pinned.add(register)
+            self._read_pinned.add(uid)
         if prefetch:
             self.prefetch_fills += 1
         else:
@@ -250,7 +261,7 @@ class RegisterFileCache(RegisterFileModel):
         lower_ready = self.lower_writes.schedule(cycle)
         if self.caching_policy.should_cache(register, state, window, cycle):
             if self.upper_result_writes.reserve(cycle):
-                self._insert_upper(register, cycle)
+                self._insert_upper(register.uid, cycle)
                 self.results_cached += 1
             else:
                 self.cache_write_conflicts += 1
@@ -264,9 +275,10 @@ class RegisterFileCache(RegisterFileModel):
     # ------------------------------------------------------------------
 
     def release(self, register: PhysicalRegister) -> None:
-        self._upper.remove(register)
-        self._pending_fills.pop(register, None)
-        self._read_pinned.discard(register)
+        uid = register.uid
+        self._upper.remove(uid)
+        self._pending_fills.pop(uid, None)
+        self._read_pinned.discard(uid)
 
     # ------------------------------------------------------------------
     # reporting

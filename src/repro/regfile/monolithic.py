@@ -61,7 +61,9 @@ class SingleBankedRegisterFile(RegisterFileModel):
     # ------------------------------------------------------------------
 
     def begin_cycle(self, cycle: int) -> None:
-        self.read_ports.begin_cycle()
+        # Direct store instead of ``read_ports.begin_cycle()``: this runs
+        # every simulated cycle and the method call is pure overhead.
+        self.read_ports._used = 0
         if not cycle & 1023:
             self.writes.forget_before(cycle)
 
@@ -88,7 +90,10 @@ class SingleBankedRegisterFile(RegisterFileModel):
         return OperandAccess(register, OperandSource.BYPASS)
 
     def can_claim_reads(self, accesses: Sequence[OperandAccess]) -> bool:
-        needed = sum(1 for access in accesses if access.source is OperandSource.FILE)
+        needed = 0
+        for access in accesses:
+            if access.source is OperandSource.FILE:
+                needed += 1
         if needed == 0:
             return True
         available = self.read_ports.available_capped(needed)
@@ -97,8 +102,14 @@ class SingleBankedRegisterFile(RegisterFileModel):
         return available
 
     def claim_reads(self, accesses: Sequence[OperandAccess]) -> None:
-        needed = sum(1 for access in accesses if access.source is OperandSource.FILE)
-        bypassed = sum(1 for access in accesses if access.source is OperandSource.BYPASS)
+        needed = 0
+        bypassed = 0
+        for access in accesses:
+            source = access.source
+            if source is OperandSource.FILE:
+                needed += 1
+            elif source is OperandSource.BYPASS:
+                bypassed += 1
         if needed:
             self.read_ports.claim_capped(needed)
         self.reads_from_file += needed

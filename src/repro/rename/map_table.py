@@ -2,17 +2,28 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import RenameError
-from repro.isa.instruction import LogicalRegister
+from repro.isa.instruction import NUM_LOGICAL_PER_CLASS, LogicalRegister
 
 
 class MapTable:
-    """The speculative rename map from logical to physical registers."""
+    """The speculative rename map from logical to physical registers.
+
+    Storage is dual: an authoritative dictionary (checkpoints, iteration)
+    and a flat slot list indexed by the register's cached integer hash
+    (``(index << 1) | is_fp``) for the per-source lookup on the rename
+    hot path.
+    """
+
+    _NUM_SLOTS = NUM_LOGICAL_PER_CLASS * 2
 
     def __init__(self, initial: Dict[LogicalRegister, int] | None = None) -> None:
         self._map: Dict[LogicalRegister, int] = dict(initial or {})
+        self._slots: List[Optional[int]] = [None] * self._NUM_SLOTS
+        for register, physical in self._map.items():
+            self._slots[register._hash] = physical
 
     def lookup(self, register: LogicalRegister) -> int:
         """Return the physical register currently mapped to ``register``.
@@ -23,10 +34,10 @@ class MapTable:
             If the logical register has no mapping (the renamer always
             seeds an initial mapping, so this indicates a bug).
         """
-        try:
-            return self._map[register]
-        except KeyError as exc:
-            raise RenameError(f"logical register {register} has no mapping") from exc
+        physical = self._slots[register._hash]
+        if physical is None:
+            raise RenameError(f"logical register {register} has no mapping")
+        return physical
 
     def contains(self, register: LogicalRegister) -> bool:
         return register in self._map
@@ -35,6 +46,7 @@ class MapTable:
         """Map ``register`` to ``physical``; returns the previous mapping."""
         previous = self._map.get(register)
         self._map[register] = physical
+        self._slots[register._hash] = physical
         return previous
 
     def mapped_physical_registers(self) -> set[int]:
@@ -48,6 +60,9 @@ class MapTable:
     def restore(self, checkpoint: Dict[LogicalRegister, int]) -> None:
         """Restore a mapping copied with :meth:`checkpoint`."""
         self._map = dict(checkpoint)
+        self._slots = [None] * self._NUM_SLOTS
+        for register, physical in self._map.items():
+            self._slots[register._hash] = physical
 
     def items(self) -> Iterable[tuple[LogicalRegister, int]]:
         return self._map.items()

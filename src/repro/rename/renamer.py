@@ -12,7 +12,7 @@ observation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import ConfigurationError, RenameError
@@ -39,10 +39,13 @@ class PhysicalRegister:
         # indexes and the register-file-cache structures — the hottest
         # dictionaries in the simulator.  The generated dataclass hash
         # allocates a tuple per call; cache an equality-consistent
-        # integer instead.
-        object.__setattr__(
-            self, "_hash", (self.index << 1) | (self.reg_class is RegisterClass.FP)
-        )
+        # integer instead.  ``uid`` is the same integer under its public
+        # name: the hot structures key their dictionaries by it directly,
+        # which hashes at C speed instead of through this class's
+        # Python-level ``__hash__``.
+        uid = (self.index << 1) | (self.reg_class is RegisterClass.FP)
+        object.__setattr__(self, "_hash", uid)
+        object.__setattr__(self, "uid", uid)
 
     def __hash__(self) -> int:
         return self._hash
@@ -60,7 +63,13 @@ class RenamedInstruction:
     sources: tuple[PhysicalRegister, ...] = ()
     dest: Optional[PhysicalRegister] = None
     previous_dest: Optional[PhysicalRegister] = None
-    annotations: dict = field(default_factory=dict)
+    #: Pipeline-attached collaborators, kept as plain slots instead of an
+    #: annotations dictionary: one dictionary per renamed instruction was
+    #: pure allocation churn on the hot path.  ``fetched`` is the
+    #: front-end record of this instruction; ``dest_state`` the
+    #: scoreboard state of ``dest``, resolved once at dispatch.
+    fetched: Optional[object] = None
+    dest_state: Optional[object] = None
 
     @property
     def seq(self) -> int:
@@ -109,6 +118,9 @@ class Renamer:
         self._fp_physical: tuple[PhysicalRegister, ...] = tuple(
             PhysicalRegister(RegisterClass.FP, i) for i in range(num_fp_physical)
         )
+        # Direct views of the map tables' slot lists (rebound only by
+        # ``MapTable.restore``, which the pipeline never calls on the hot
+        # path — re-fetched per rename below at attribute-access cost).
 
     # ------------------------------------------------------------------
     # queries
@@ -145,8 +157,16 @@ class Renamer:
             If no free physical register is available for the destination;
             callers should check :meth:`can_rename` first.
         """
-        current_mapping = self.current_mapping
-        sources = tuple(current_mapping(src) for src in instruction.sources)
+        int_physical = self._int_physical
+        fp_physical = self._fp_physical
+        int_slots = self._int_map._slots
+        fp_slots = self._fp_map._slots
+        sources = tuple(
+            int_physical[int_slots[src._hash]]
+            if src.reg_class is RegisterClass.INT
+            else fp_physical[fp_slots[src._hash]]
+            for src in instruction.sources
+        )
         dest: Optional[PhysicalRegister] = None
         previous: Optional[PhysicalRegister] = None
         if instruction.dest is not None:

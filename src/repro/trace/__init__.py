@@ -1,0 +1,45 @@
+"""Trace-once / replay-many execution of the simulator frontend.
+
+The experiments of the paper are *sweeps*: one instruction stream is run
+through many register-file architectures and the results are compared.
+The workload generator and the frontend (fetch grouping, gshare
+direction prediction, BTB, I-cache) behave identically for every backend
+under study — fetch blocks on every mispredicted branch until it
+resolves, so the predictor's speculative-history repair always lands
+before the next prediction, and group composition never reads the cycle
+counter.  This package exploits that: a :class:`TraceRecorder` runs the
+workload + frontend **once** per (benchmark, frontend-relevant config)
+and materializes a compact decoded-instruction / fetch-event stream; a
+:class:`TraceReplayer` then drives the pipeline through the frontend
+seam of :class:`~repro.pipeline.processor.Processor` in place of live
+fetch.  Replay is bit-identical: a replayed point reproduces the
+live-run :class:`~repro.pipeline.stats.SimulationStats` (and
+``commit_checksum``) exactly — guarded by ``tests/test_trace_replay.py``.
+
+See ``docs/tracing.md`` for the schema and the conditions under which
+replay is bypassed.
+"""
+
+from repro.trace.schema import (
+    TRACE_SCHEMA_VERSION,
+    DecodedTrace,
+    FetchEvent,
+    frontend_fingerprint,
+    trace_key,
+)
+from repro.trace.recorder import RecordingFetchUnit, record_trace
+from repro.trace.replayer import TraceReplayer, replay_simulate
+from repro.trace.store import TraceStore
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "DecodedTrace",
+    "FetchEvent",
+    "RecordingFetchUnit",
+    "TraceReplayer",
+    "TraceStore",
+    "frontend_fingerprint",
+    "record_trace",
+    "replay_simulate",
+    "trace_key",
+]

@@ -1,0 +1,110 @@
+"""On-disk store of decoded traces.
+
+Traces live in a ``traces/`` subdirectory of the experiment cache
+directory, so one ``--cache-dir`` serves both the
+:class:`~repro.experiments.store.ResultStore` (result JSON files in the
+directory root) and the trace store without any filename collision, and
+a trace file can never be mistaken for a result payload (different
+location *and* a different schema envelope).  Files are gzip-compressed
+JSON, written atomically; unreadable, corrupt or schema-mismatching
+files are treated as cache misses.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.trace.schema import DecodedTrace
+
+#: Subdirectory of the cache dir reserved for traces.
+TRACE_SUBDIR = "traces"
+
+
+class TraceStore:
+    """Two-tier (memory + optional disk) store of decoded traces."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self.trace_dir = os.path.join(cache_dir, TRACE_SUBDIR) if cache_dir else None
+        self._memory: Dict[str, DecodedTrace] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        if self.trace_dir:
+            os.makedirs(self.trace_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.trace_dir, f"{key}.json.gz")  # type: ignore[arg-type]
+
+    def _load_from_disk(self, key: str) -> Optional[DecodedTrace]:
+        if not self.trace_dir:
+            return None
+        try:
+            with gzip.open(self._path(key), "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError, EOFError):
+            return None
+        try:
+            trace = DecodedTrace.from_payload(payload)
+        except SimulationError:
+            return None
+        if trace.key != key:
+            return None
+        return trace
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[DecodedTrace]:
+        """Fetch a trace, promoting disk entries into the memory tier."""
+        trace = self._memory.get(key)
+        if trace is not None:
+            self.memory_hits += 1
+            return trace
+        trace = self._load_from_disk(key)
+        if trace is not None:
+            self._memory[key] = trace
+            self.disk_hits += 1
+            return trace
+        self.misses += 1
+        return None
+
+    def put(self, trace: DecodedTrace) -> None:
+        """Record a trace in both tiers (the disk write is atomic)."""
+        self._memory[trace.key] = trace
+        self.stores += 1
+        if not self.trace_dir:
+            return
+        fd, tmp_path = tempfile.mkstemp(dir=self.trace_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as raw:
+                with gzip.open(raw, "wt", encoding="utf-8") as handle:
+                    json.dump(trace.to_payload(), handle)
+            os.replace(tmp_path, self._path(trace.key))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self._memory),
+        }

@@ -83,7 +83,7 @@ class TestRunnerAndReport:
     def test_runner_produces_schema_versioned_report(self, tmp_path):
         scenario = with_budget(headline_scenario(quick=True), 300)
         runner = BenchmarkRunner(quick=True, repeats=1, simulations=[scenario],
-                                 include_components=False)
+                                 sweeps=[], include_components=False)
         report = runner.run(index=7)
         assert report.schema == 1
         assert report.index == 7
@@ -211,7 +211,40 @@ class TestCli:
         """Two runs of the same scenario must agree on the stats digest."""
         scenario = with_budget(headline_scenario(quick=True), 200)
         runner = BenchmarkRunner(repeats=1, simulations=[scenario],
-                                 include_components=False)
+                                 sweeps=[], include_components=False)
         first = runner.run(index=1).scenarios[0].stats_digest
         second = runner.run(index=2).scenarios[0].stats_digest
         assert first == second
+
+    def test_sweep_replay_and_live_agree_on_stats_digest(self):
+        """The two execution modes of one sweep matrix must produce
+        bit-identical results: the digest over every point's statistics
+        is the determinism guard for the trace-replay engine."""
+        from repro.bench.scenarios import SweepScenario
+
+        replay = SweepScenario(name="sweep/x/replay", profile="gcc",
+                               instructions=400, use_trace_replay=True)
+        live = SweepScenario(name="sweep/x/live", profile="gcc",
+                             instructions=400, use_trace_replay=False)
+        replay_out = replay.run()
+        live_out = live.run()
+        assert replay_out["points"] == live_out["points"] == 16
+        assert replay_out["stats_digest"] == live_out["stats_digest"]
+        assert replay_out["summary"]["traces_recorded"] == 1
+
+    def test_sweep_result_in_report(self):
+        from repro.bench.scenarios import SweepScenario
+
+        sweep = SweepScenario(name="sweep/x/replay", profile="gcc",
+                              instructions=300, use_trace_replay=True,
+                              headline_sweep=True)
+        runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[sweep],
+                                 include_components=False)
+        report = runner.run(index=1)
+        [result] = report.scenarios
+        assert result.kind == "sweep"
+        assert result.operations == 16
+        assert result.operations_per_second > 0
+        assert result.rate == result.operations_per_second
+        assert result.metadata["headline_sweep"] is True
+        assert result.metadata["points_per_minute"] > 0

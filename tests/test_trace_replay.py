@@ -1,0 +1,307 @@
+"""Trace-once / replay-many: bit-identity, store behaviour, scheduler keys.
+
+The contract of :mod:`repro.trace` is exact: a replayed point must
+reproduce the live run's :class:`~repro.pipeline.stats.SimulationStats`
+(including ``commit_checksum`` when a commit observer is attached) bit
+for bit, for **every** register-file architecture, from one recording.
+These tests lock that contract down, together with the trace store's
+negative paths and the rule that replay never changes a point's
+result-store key.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.experiments.scheduler import (
+    SimulationPoint,
+    execute_points,
+    run_simulation_point,
+)
+from repro.experiments.store import ResultStore
+from repro.pipeline.config import ProcessorConfig
+from repro.pipeline.processor import simulate
+from repro.trace import (
+    TRACE_SCHEMA_VERSION,
+    DecodedTrace,
+    TraceStore,
+    record_trace,
+    replay_simulate,
+    trace_key,
+)
+from repro.validate.differential import validation_matrix
+from repro.validate.observer import CommitObserver
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+N = 2000
+
+
+def _stream(benchmark: str, count: int):
+    return SyntheticWorkload(get_profile(benchmark)).instructions(count)
+
+
+def _workload_id(benchmark: str, count: int) -> dict:
+    return {"kind": "synthetic-profile", "benchmark": benchmark,
+            "instructions": count}
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    config = ProcessorConfig(max_instructions=N)
+    return record_trace("gcc", _stream("gcc", N), config, _workload_id("gcc", N))
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("name", sorted(validation_matrix()))
+    def test_replay_matches_live_for_every_architecture(self, gcc_trace, name):
+        factory = validation_matrix()[name]
+        config = ProcessorConfig(max_instructions=N)
+        live = simulate(_stream("gcc", N), factory, config, benchmark_name="gcc")
+        replayed = replay_simulate(gcc_trace, factory, config, benchmark_name="gcc")
+        assert replayed.to_dict() == live.to_dict()
+
+    def test_commit_checksum_matches_live(self, gcc_trace):
+        factory = validation_matrix()["rfc-non-bypass"]
+        config = ProcessorConfig(max_instructions=N)
+        live = simulate(_stream("gcc", N), factory, config,
+                        benchmark_name="gcc", commit_observer=CommitObserver())
+        replayed = replay_simulate(gcc_trace, factory, config,
+                                   benchmark_name="gcc",
+                                   commit_observer=CommitObserver())
+        assert live.commit_checksum is not None
+        assert replayed.commit_checksum == live.commit_checksum
+        assert replayed.to_dict() == live.to_dict()
+
+    def test_backend_config_shares_the_trace(self, gcc_trace):
+        """Backend fields (register budget) do not enter the trace key;
+        a perturbed backend replays bit-identically from the same trace."""
+        factory = validation_matrix()["monolithic-2c-full-bypass"]
+        config = ProcessorConfig(
+            max_instructions=N, num_int_physical=48, num_fp_physical=48
+        )
+        assert trace_key(_workload_id("gcc", N), config) == gcc_trace.key
+        live = simulate(_stream("gcc", N), factory, config, benchmark_name="gcc")
+        replayed = replay_simulate(gcc_trace, factory, config, benchmark_name="gcc")
+        assert replayed.to_dict() == live.to_dict()
+
+    def test_truncated_commit_budget_with_stream_slack(self):
+        """Bench-style runs stop at the commit cap with stream left over;
+        the full-stream recording still replays them bit-identically."""
+        count = int(N * 1.5)
+        config = ProcessorConfig(max_instructions=N)
+        trace = record_trace("swim", _stream("swim", count), config,
+                             _workload_id("swim", count))
+        for name in ("monolithic-1c", "banked-4x2r2w", "rfc-ready"):
+            factory = validation_matrix()[name]
+            live = simulate(_stream("swim", count), factory, config,
+                            benchmark_name="swim")
+            replayed = replay_simulate(trace, factory, config,
+                                       benchmark_name="swim")
+            assert replayed.to_dict() == live.to_dict(), name
+
+    def test_frontend_config_changes_the_key(self):
+        config = ProcessorConfig(max_instructions=N)
+        narrow = config.with_overrides(fetch_width=4)
+        assert (trace_key(_workload_id("gcc", N), config)
+                != trace_key(_workload_id("gcc", N), narrow))
+
+    def test_sequential_replays_of_one_trace(self, gcc_trace):
+        """Replayers share prebuilt groups; back-to-back runs must not
+        contaminate each other."""
+        factory = validation_matrix()["monolithic-1c"]
+        config = ProcessorConfig(max_instructions=N)
+        first = replay_simulate(gcc_trace, factory, config)
+        second = replay_simulate(gcc_trace, factory, config)
+        assert first.to_dict() == second.to_dict()
+
+
+class TestTraceStore:
+    def test_round_trip_through_disk(self, gcc_trace, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(gcc_trace)
+        fresh = TraceStore(str(tmp_path))
+        loaded = fresh.get(gcc_trace.key)
+        assert loaded is not None
+        assert loaded.to_payload() == gcc_trace.to_payload()
+        factory = validation_matrix()["rfc-always-demand"]
+        config = ProcessorConfig(max_instructions=N)
+        assert (replay_simulate(loaded, factory, config).to_dict()
+                == replay_simulate(gcc_trace, factory, config).to_dict())
+
+    def test_memory_tier_returns_same_object(self, gcc_trace, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(gcc_trace)
+        assert store.get(gcc_trace.key) is gcc_trace
+        assert store.counters()["memory_hits"] == 1
+
+    def test_schema_mismatch_is_a_miss(self, gcc_trace, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(gcc_trace)
+        path = store._path(gcc_trace.key)
+        payload = gcc_trace.to_payload()
+        payload["schema"] = TRACE_SCHEMA_VERSION + 1
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
+
+    def test_corrupt_file_is_a_miss(self, gcc_trace, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(gcc_trace)
+        with open(store._path(gcc_trace.key), "wb") as handle:
+            handle.write(b"not gzip at all")
+        assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
+
+    def test_truncated_gzip_is_a_miss(self, gcc_trace, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(gcc_trace)
+        path = store._path(gcc_trace.key)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
+
+    def test_key_mismatch_is_a_miss(self, gcc_trace, tmp_path):
+        """A trace stored under the wrong filename must not be served."""
+        store = TraceStore(str(tmp_path))
+        payload = gcc_trace.to_payload()
+        wrong_key = "0" * 64
+        with gzip.open(os.path.join(store.trace_dir, f"{wrong_key}.json.gz"),
+                       "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert TraceStore(str(tmp_path)).get(wrong_key) is None
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(Exception):
+            DecodedTrace.from_payload({"schema": TRACE_SCHEMA_VERSION})
+
+    def test_event_coverage_validated(self, gcc_trace):
+        payload = gcc_trace.to_payload()
+        payload["events"] = payload["events"][:-1]
+        with pytest.raises(Exception):
+            DecodedTrace.from_payload(payload)
+
+    def test_memory_only_store(self, gcc_trace):
+        store = TraceStore(None)
+        store.put(gcc_trace)
+        assert store.get(gcc_trace.key) is gcc_trace
+
+
+class TestCacheDirCoexistence:
+    """One ``--cache-dir`` serves results and traces without collision."""
+
+    def test_result_and_trace_stores_share_a_directory(self, tmp_path):
+        cache_dir = str(tmp_path)
+        results = ResultStore(cache_dir=cache_dir)
+        factory = validation_matrix()["monolithic-1c"]
+        config = ProcessorConfig(max_instructions=500)
+        point = SimulationPoint(benchmark="gcc", factory=factory,
+                                architecture="mono-1c", config=config)
+        execute_points([point], results, jobs=1, use_trace_replay=True)
+
+        # The result lives in the directory root, the trace under traces/;
+        # a fresh ResultStore must not mistake the trace for a result and
+        # a fresh TraceStore must not see the result payload.
+        root_files = [f for f in os.listdir(cache_dir) if f.endswith(".json")]
+        assert root_files, "result JSON missing from the cache-dir root"
+        trace_files = os.listdir(os.path.join(cache_dir, "traces"))
+        assert any(f.endswith(".json.gz") for f in trace_files)
+
+        fresh_results = ResultStore(cache_dir=cache_dir)
+        assert fresh_results.peek(point.store_key()) is not None
+        fresh_traces = TraceStore(cache_dir)
+        assert fresh_traces.get(point.trace_key()) is not None
+        # A result key can never resolve in the trace store and vice versa.
+        assert fresh_traces.get(point.store_key()) is None
+        assert fresh_results.peek(point.trace_key()) is None
+
+
+class TestReplayIsNotAConfigField:
+    """Replay is an execution strategy: result keys must not change."""
+
+    def _points(self):
+        config = ProcessorConfig(max_instructions=800)
+        return [
+            SimulationPoint(benchmark="gcc", factory=factory,
+                            architecture=name, config=config)
+            for name, factory in list(validation_matrix().items())[:4]
+        ]
+
+    def test_replayed_and_live_runs_share_result_keys(self, tmp_path):
+        cache_dir = str(tmp_path)
+        replay_store = ResultStore(cache_dir=cache_dir)
+        summary = execute_points(self._points(), replay_store, jobs=1,
+                                 use_trace_replay=True)
+        assert summary["executed"] == 4
+        assert summary["traces_recorded"] == 1
+
+        # A later *live* run over the same cache-dir must hit every entry.
+        live_store = ResultStore(cache_dir=cache_dir)
+        summary = execute_points(self._points(), live_store, jobs=1,
+                                 use_trace_replay=False)
+        assert summary["executed"] == 0
+        assert summary["cached"] == 4
+
+    def test_replayed_results_equal_live_results(self):
+        replay_store = ResultStore()
+        live_store = ResultStore()
+        points = self._points()
+        execute_points(points, replay_store, jobs=1, use_trace_replay=True)
+        execute_points(points, live_store, jobs=1, use_trace_replay=False)
+        for point in points:
+            key = point.store_key()
+            assert (replay_store.get(key).to_dict()
+                    == live_store.get(key).to_dict()), point.architecture
+
+    def test_recording_harvest_matches_live(self):
+        """The recording run doubles as the first point's result; it must
+        equal that point's live run exactly."""
+        config = ProcessorConfig(max_instructions=800)
+        factory = validation_matrix()["rfc-non-bypass"]
+        point = SimulationPoint(benchmark="swim", factory=factory,
+                                architecture="rfc", config=config)
+        from repro.experiments.scheduler import record_point_trace
+
+        _, harvested = record_point_trace(point)
+        assert harvested is not None
+        live = run_simulation_point(point)
+        assert harvested.to_dict() == live.to_dict()
+
+    def test_parallel_batched_replay_matches_serial(self, tmp_path):
+        """The warm-worker path (record task + trace batches) produces the
+        same results as the serial path, with traces shipped via disk."""
+        from repro.experiments.scheduler import shutdown_pool
+
+        points = self._points()
+        serial_store = ResultStore()
+        execute_points(points, serial_store, jobs=1, use_trace_replay=True)
+        parallel_store = ResultStore(cache_dir=str(tmp_path))
+        try:
+            summary = execute_points(points, parallel_store, jobs=2,
+                                     use_trace_replay=True)
+        finally:
+            shutdown_pool()
+        assert summary["executed"] == 4
+        for point in points:
+            key = point.store_key()
+            assert (parallel_store.get(key).to_dict()
+                    == serial_store.get(key).to_dict()), point.architecture
+
+    def test_occupancy_point_is_not_harvested_but_replays(self):
+        config = ProcessorConfig(max_instructions=600, collect_occupancy=True)
+        factory = validation_matrix()["monolithic-1c"]
+        point = SimulationPoint(benchmark="gcc", factory=factory,
+                                architecture="mono", config=config)
+        from repro.experiments.scheduler import record_point_trace
+
+        trace, harvested = record_point_trace(point)
+        assert harvested is None  # occupancy collection disables the harvest
+        live = run_simulation_point(point)
+        replayed = run_simulation_point(point, trace)
+        assert replayed.to_dict() == live.to_dict()
+        assert replayed.occupancy_needed  # the distribution was collected
