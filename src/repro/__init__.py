@@ -95,8 +95,7 @@ from repro.hwmodel import (
     pareto_frontier,
 )
 from repro.analysis import harmonic_mean, speedup, relative_series
-
-__version__ = "1.0.0"
+from repro.version import __version__
 
 __all__ = [
     "__version__",

@@ -29,6 +29,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
+from repro.version import __version__
 
 #: Bump when the report layout changes; ``compare`` refuses mismatches.
 SCHEMA_VERSION = 1
@@ -165,6 +166,7 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
 def environment_fingerprint() -> Dict[str, object]:
     """Everything needed to interpret the absolute numbers of a report."""
     return {
+        "repro_version": __version__,
         "python_version": platform.python_version(),
         "python_implementation": platform.python_implementation(),
         "platform": platform.platform(),

@@ -26,9 +26,11 @@ from repro.bench.report import (
 )
 from repro.bench.scenarios import (
     ComponentScenario,
+    ServiceScenario,
     SimulationScenario,
     SweepScenario,
     component_scenarios,
+    service_scenarios,
     simulation_scenarios,
     sweep_scenarios,
 )
@@ -61,6 +63,7 @@ class BenchmarkRunner:
     #: Scenario overrides, mainly for tests; defaults to the full matrix.
     simulations: Optional[Sequence[SimulationScenario]] = None
     sweeps: Optional[Sequence[SweepScenario]] = None
+    services: Optional[Sequence[ServiceScenario]] = None
     components: Optional[Sequence[ComponentScenario]] = None
     results: List[ScenarioResult] = field(default_factory=list)
 
@@ -131,6 +134,30 @@ class BenchmarkRunner:
             metadata=metadata,
         )
 
+    def run_service(self, scenario: ServiceScenario) -> ScenarioResult:
+        """Time one service round trip; the metric is points per second.
+
+        Like sweeps, a service scenario is timed once: it is internally
+        amortized and the compare gate normalizes by calibration.
+        """
+        started = time.perf_counter()
+        outcome = scenario.run()
+        wall = time.perf_counter() - started
+        points = int(outcome["points"])
+        metadata = scenario.metadata()
+        metadata["job_counters"] = outcome["summary"]
+        metadata["points_per_minute"] = round(60.0 * points / wall, 1) if wall else 0.0
+        return ScenarioResult(
+            name=scenario.name,
+            kind="service",
+            wall_seconds=wall,
+            repeats=1,
+            operations=points,
+            operations_per_second=points / wall if wall > 0 else 0.0,
+            stats_digest=str(outcome["stats_digest"]),
+            metadata=metadata,
+        )
+
     def run_component(self, scenario: ComponentScenario) -> ScenarioResult:
         wall, operations = self._time(scenario.run)
         count = int(operations) if isinstance(operations, int) else 0
@@ -155,13 +182,17 @@ class BenchmarkRunner:
             self.sweeps if self.sweeps is not None
             else sweep_scenarios(self.quick)
         )
+        services = self._selected(
+            self.services if self.services is not None
+            else service_scenarios(self.quick)
+        )
         components: Sequence[ComponentScenario] = []
         if self.include_components:
             components = self._selected(
                 self.components if self.components is not None
                 else component_scenarios(self.quick)
             )
-        total = len(simulations) + len(sweeps) + len(components)
+        total = len(simulations) + len(sweeps) + len(services) + len(components)
         self._say(f"bench: {total} scenarios ({'quick' if self.quick else 'full'} "
                   f"matrix), {max(1, self.repeats)} repeats each")
         calibration = calibration_score()
@@ -180,6 +211,13 @@ class BenchmarkRunner:
             self._say(f"[{done}/{total}] {result.name}: "
                       f"{result.metadata['points_per_minute']:,} points/min "
                       f"({result.wall_seconds:.2f}s)")
+        for scenario in services:
+            result = self.run_service(scenario)
+            self.results.append(result)
+            done += 1
+            self._say(f"[{done}/{total}] {result.name}: "
+                      f"{result.metadata['points_per_minute']:,} points/min "
+                      f"via HTTP ({result.wall_seconds:.2f}s)")
         for scenario in components:
             result = self.run_component(scenario)
             self.results.append(result)

@@ -13,6 +13,11 @@ Three kinds of scenarios:
   ``replay`` variant exercises the trace-once/replay-many engine, the
   ``live`` variant the per-point live frontend it replaced — their ratio
   is the sweep-throughput headline.
+* **service scenarios** — a figure plan pushed through the sweep
+  service's full HTTP path (submit via :class:`ServiceClient`, execute
+  on the service's :class:`~repro.experiments.scheduler.SweepEngine`,
+  poll to completion), measured in points/minute — the perf gate's view
+  of the :mod:`repro.service` subsystem.
 * **component scenarios** — microbenchmarks of the simulator's building
   blocks, reused from the repository's ``benchmarks/`` pytest-benchmark
   suite via a small timing shim, so the same kernels back both harnesses.
@@ -271,6 +276,100 @@ def sweep_scenarios(quick: bool = False) -> List[SweepScenario]:
 
 
 # ----------------------------------------------------------------------
+# service scenarios (submit -> complete through the HTTP sweep service)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceScenario:
+    """One figure plan through the sweep service's full HTTP path.
+
+    Each run boots a cold in-process service (fresh stores, a free
+    port), submits the plan with the client, polls it to completion and
+    tears the service down — so the measured points/minute includes
+    admission, queueing, scheduling and result assembly, everything a
+    real client pays on top of the raw engine.
+    """
+
+    name: str
+    figure: str
+    instructions: int
+    warmup_instructions: int
+    benchmarks: tuple
+
+    def run(self) -> Dict[str, object]:
+        import shutil
+        import tempfile
+        import threading
+
+        from repro.errors import SimulationError
+        from repro.service.app import ServiceApp
+        from repro.service.client import ServiceClient
+        from repro.service.server import build_server
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-service-")
+        app = ServiceApp(cache_dir=tmp, jobs=1, job_concurrency=1)
+        server = build_server(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        app.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            job = client.submit({
+                "figure": self.figure,
+                "settings": {
+                    "instructions": self.instructions,
+                    "warmup_instructions": self.warmup_instructions,
+                    "benchmarks": list(self.benchmarks),
+                },
+            })
+            final = client.watch(job["id"], interval=0.05, timeout=1800)
+            if final.get("state") != "completed":
+                raise SimulationError(
+                    f"service bench job did not complete: {final.get('error')}"
+                )
+            result = client.result(job["id"])
+            digest = hashlib.sha256(
+                json.dumps(result["result"], sort_keys=True,
+                           separators=(",", ":"), default=str).encode("utf-8")
+            ).hexdigest()
+            return {
+                "points": int(final["counters"]["unique"]),
+                "summary": final["counters"],
+                "stats_digest": digest,
+            }
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "figure": self.figure,
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "benchmarks": list(self.benchmarks),
+            "transport": "http",
+        }
+
+
+def service_scenarios(quick: bool = False) -> List[ServiceScenario]:
+    """The service-path scenario (quick-eligible, so CI gates it too)."""
+    return [
+        ServiceScenario(
+            name="service_throughput/figure6",
+            figure="figure6",
+            instructions=1500 if quick else 6000,
+            warmup_instructions=300 if quick else 2000,
+            benchmarks=("gcc", "swim"),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
 # component microbenchmarks, reused from benchmarks/bench_components.py
 # ----------------------------------------------------------------------
 
@@ -357,6 +456,12 @@ def scenario_overview(quick: bool = False) -> List[str]:
         lines.append(
             f"{sweep.name}: {len(sweep.points())} points x "
             f"{sweep.instructions} instructions via {mode}{tag}"
+        )
+    for service in service_scenarios(quick):
+        lines.append(
+            f"{service.name}: {service.figure} plan over "
+            f"{'/'.join(service.benchmarks)} x {service.instructions} "
+            f"instructions through the HTTP sweep service"
         )
     for comp in component_scenarios(quick):
         lines.append(f"{comp.name}: reuses {comp.source}")

@@ -44,8 +44,9 @@ from repro.experiments import (
 )
 from repro.errors import ReproError
 from repro.experiments.common import ExperimentResult, ExperimentSettings, SimulationCache
-from repro.experiments.scheduler import SimulationPoint, execute_points
+from repro.experiments.scheduler import SimulationPoint, SweepEngine
 from repro.experiments.store import ResultStore
+from repro.version import __version__
 
 #: All experiments in the order they appear in the paper.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -130,20 +131,25 @@ def run_experiments(
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     use_trace_replay: bool = True,
+    engine: Optional[SweepEngine] = None,
 ) -> list[ExperimentResult]:
     """Run the named experiments, sharing one simulation cache.
 
     The experiments' declared simulation points are deduplicated and
-    executed up front (across ``jobs`` worker processes when ``jobs`` >
-    1); the experiment functions then assemble their reports from cache
-    hits.  Any point a ``plan`` under-declares is simply simulated
-    in-process when the experiment asks for it.
+    executed up front through a :class:`SweepEngine` (across ``jobs``
+    worker processes when ``jobs`` > 1); the experiment functions then
+    assemble their reports from cache hits.  Any point a ``plan``
+    under-declares is simply simulated in-process when the experiment
+    asks for it.  Long-lived callers (the sweep service) pass their own
+    ``engine`` so warm workers and trace caches persist across calls;
+    ``store``/``jobs``/``use_trace_replay`` are ignored in that case.
     """
-    store = store if store is not None else ResultStore()
+    if engine is None:
+        engine = SweepEngine(store=store, jobs=jobs,
+                             use_trace_replay=use_trace_replay)
+    store = engine.store
     cache = SimulationCache(settings, store=store)
-    execute_points(plan_experiments(names, settings), store,
-                   jobs=jobs, progress=progress,
-                   use_trace_replay=use_trace_replay)
+    engine.execute(plan_experiments(names, settings), progress=progress)
     results = []
     for name in names:
         started = time.time()
@@ -167,6 +173,7 @@ def render_json(results: Sequence[ExperimentResult],
                 store: Optional[ResultStore] = None) -> str:
     payload = {
         "schema": 1,
+        "version": __version__,
         "settings": {
             "instructions_per_benchmark": settings.instructions_per_benchmark,
             "warmup_instructions": settings.warmup_instructions,

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import atexit
 import math
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -183,6 +184,20 @@ def dedupe_points(points: Iterable[SimulationPoint]) -> Dict[str, SimulationPoin
 
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_JOBS = 0
+_POOL_RESETS = 0
+#: Guards _POOL/_POOL_JOBS: concurrent SweepEngine.execute calls (the
+#: sweep service's executor threads) share the module-global pool.
+_POOL_LOCK = threading.Lock()
+
+
+def pool_resets() -> int:
+    """How often a broken worker forced the warm pool to be torn down.
+
+    Long-lived consumers (the sweep service's ``/metrics`` endpoint)
+    report this as a health signal: a non-zero, growing value means
+    worker processes are dying mid-simulation.
+    """
+    return _POOL_RESETS
 
 
 def warm_pool(jobs: int) -> ProcessPoolExecutor:
@@ -193,21 +208,23 @@ def warm_pool(jobs: int) -> ProcessPoolExecutor:
     runner invocation instead of paying process spawn per figure.
     """
     global _POOL, _POOL_JOBS
-    if _POOL is not None and _POOL_JOBS != jobs:
-        _POOL.shutdown(wait=True)
-        _POOL = None
-    if _POOL is None:
-        _POOL = ProcessPoolExecutor(max_workers=jobs)
-        _POOL_JOBS = jobs
-    return _POOL
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_JOBS != jobs:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+        if _POOL is None:
+            _POOL = ProcessPoolExecutor(max_workers=jobs)
+            _POOL_JOBS = jobs
+        return _POOL
 
 
 def shutdown_pool() -> None:
     """Tear down the persistent worker pool (tests, interpreter exit)."""
     global _POOL
-    if _POOL is not None:
-        _POOL.shutdown(wait=True)
-        _POOL = None
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
 
 
 atexit.register(shutdown_pool)
@@ -246,12 +263,24 @@ def fan_out(
         return results
 
     submit_worker = remote_worker if remote_worker is not None else worker
-    pool = warm_pool(jobs)
-    try:
-        futures = {
+
+    def submit_all() -> Dict[Any, int]:
+        pool = warm_pool(jobs)
+        return {
             pool.submit(submit_worker, task): index
             for index, task in enumerate(tasks)
         }
+
+    try:
+        try:
+            futures = submit_all()
+        except RuntimeError:
+            # A concurrent caller's crash recovery shut the shared pool
+            # down between our warm_pool() and submit ("cannot schedule
+            # new futures after shutdown").  Resubmit everything on a
+            # fresh pool; tasks are pure, so any task the torn-down pool
+            # already ran is merely duplicated work, never a wrong result.
+            futures = submit_all()
         outstanding = set(futures)
         while outstanding:
             finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
@@ -261,6 +290,9 @@ def fan_out(
         # A dead worker poisons the whole executor.  Tear the persistent
         # pool down before re-raising so the *next* fan-out call gets a
         # fresh pool instead of inheriting the broken one forever.
+        global _POOL_RESETS
+        with _POOL_LOCK:
+            _POOL_RESETS += 1
         shutdown_pool()
         raise
     return results
@@ -343,8 +375,341 @@ def _batch_remote(batch: _TraceBatch) -> List[dict]:
 
 
 # ----------------------------------------------------------------------
-# the scheduler
+# the sweep engine
 # ----------------------------------------------------------------------
+
+
+class SweepEngine:
+    """Long-lived facade over the trace-once/replay-many sweep scheduler.
+
+    One engine owns a :class:`ResultStore`, a :class:`TraceStore` and a
+    worker-pool size, and executes any number of point batches through
+    them: the experiment runner builds one per invocation, while the
+    sweep service (:mod:`repro.service`) keeps one alive for its whole
+    lifetime so warm workers and both cache tiers amortize across every
+    submitted job.
+
+    :meth:`execute` is safe to call from several threads at once.  A
+    **single-flight registry** deduplicates identical in-flight points
+    across concurrent calls: the first caller simulates a point, every
+    other caller blocks until the result lands in the shared store and
+    reports it as ``shared_inflight`` instead of executing it again.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        use_trace_replay: bool = True,
+        trace_store: Optional[TraceStore] = None,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.jobs = jobs
+        self.use_trace_replay = use_trace_replay
+        self.trace_store = (
+            trace_store if trace_store is not None
+            else TraceStore(self.store.cache_dir)
+        )
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, threading.Event] = {}
+        self._totals = {
+            "calls": 0,
+            "requested": 0,
+            "unique": 0,
+            "cached": 0,
+            "executed": 0,
+            "shared_inflight": 0,
+            "traces_recorded": 0,
+            "traces_reused": 0,
+            "busy_seconds": 0.0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def totals(self) -> dict:
+        """Cumulative counters across every :meth:`execute` call."""
+        with self._lock:
+            totals = dict(self._totals)
+        totals["pool_resets"] = pool_resets()
+        return totals
+
+    def close(self) -> None:
+        """Release the shared warm worker pool (idempotent)."""
+        shutdown_pool()
+
+    # ------------------------------------------------------------------
+
+    def _claim(
+        self, pending: Dict[str, SimulationPoint]
+    ) -> Tuple[Dict[str, SimulationPoint], Dict[str, threading.Event]]:
+        """Split ``pending`` into points this call owns and points another
+        in-flight call is already simulating (single-flight dedup)."""
+        owned: Dict[str, SimulationPoint] = {}
+        shared: Dict[str, threading.Event] = {}
+        with self._lock:
+            for key, point in pending.items():
+                event = self._inflight.get(key)
+                if event is not None:
+                    shared[key] = event
+                else:
+                    self._inflight[key] = threading.Event()
+                    owned[key] = point
+        return owned, shared
+
+    def _release(self, keys: Iterable[str]) -> None:
+        with self._lock:
+            for key in keys:
+                event = self._inflight.pop(key, None)
+                if event is not None:
+                    event.set()
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        points: Sequence[SimulationPoint],
+        progress: Optional[ProgressCallback] = None,
+        on_point: Optional[Callable[[SimulationPoint], None]] = None,
+    ) -> Dict[str, int]:
+        """Ensure every point's result is present in the engine's store.
+
+        Returns a summary dictionary (``requested``, ``unique``,
+        ``cached``, ``executed``, ``shared_inflight``,
+        ``traces_recorded``, ``traces_reused``, ``elapsed_seconds``)
+        that callers log or attach to job records.  With
+        ``use_trace_replay=False`` (the ``--no-trace-replay`` escape
+        hatch) every point runs live with its own workload generation
+        and frontend, as the engine did before the trace subsystem
+        existed.
+        """
+        started = time.time()
+        points = list(points)
+        requested = len(points)
+        unique = dedupe_points(points)
+        pending: Dict[str, SimulationPoint] = {
+            key: point for key, point in unique.items()
+            if self.store.get(key) is None
+        }
+        cached = len(unique) - len(pending)
+        owned, shared = self._claim(pending)
+
+        def say(message: str) -> None:
+            if progress is not None:
+                progress(message)
+
+        say(
+            f"schedule: {requested} runs requested, {len(unique)} unique, "
+            f"{cached} cached, {len(owned)} to simulate"
+            + (f", {len(shared)} in flight elsewhere" if shared else "")
+            + (f" on {self.jobs} workers" if self.jobs > 1 and owned else "")
+            + ("" if self.use_trace_replay or not owned else " (live frontend)")
+        )
+
+        done = 0
+        total_pending = len(owned)
+
+        def record(key: str, point: SimulationPoint, stats: SimulationStats) -> None:
+            nonlocal done
+            self.store.put(key, stats, metadata=point.metadata())
+            # Release as soon as the result is visible so concurrent
+            # callers waiting on this very point unblock point by point
+            # rather than at the end of the whole batch.
+            self._release((key,))
+            done += 1
+            if on_point is not None:
+                on_point(point)
+            say(
+                f"[{done}/{total_pending}] {point.benchmark} @ {point.architecture} "
+                f"(t={time.time() - started:.1f}s)"
+            )
+
+        counters = {
+            "requested": requested,
+            "unique": len(unique),
+            "cached": cached,
+            "executed": len(owned),
+            "shared_inflight": len(shared),
+            "traces_recorded": 0,
+            "traces_reused": 0,
+        }
+
+        try:
+            if owned:
+                self._run_pending(owned, counters, record, say)
+        finally:
+            # Normally every event was already released by ``record``;
+            # after a worker crash this unblocks waiting callers, whose
+            # fallback below re-executes the points that never finished.
+            self._release(owned)
+
+        for key, event in shared.items():
+            while True:
+                event.wait()
+                if self.store.get(key) is not None:
+                    break
+                # The owning call died before producing the result; run
+                # the point ourselves (a crash-recovery path).  Losing
+                # the reclaim race to another waiter means waiting on
+                # *their* freshly claimed event, never giving up with
+                # the result still missing.
+                point = pending[key]
+                reclaimed, still_shared = self._claim({key: point})
+                if reclaimed:
+                    try:
+                        self._run_pending(reclaimed, counters, record, say)
+                    finally:
+                        self._release(reclaimed)
+                    break
+                event = still_shared[key]
+
+        counters["elapsed_seconds"] = round(time.time() - started, 1)
+        with self._lock:
+            self._totals["calls"] += 1
+            self._totals["busy_seconds"] = round(
+                self._totals["busy_seconds"] + (time.time() - started), 3
+            )
+            for field_name in ("requested", "unique", "cached", "executed",
+                               "shared_inflight", "traces_recorded",
+                               "traces_reused"):
+                self._totals[field_name] += counters[field_name]
+        return counters
+
+    # ------------------------------------------------------------------
+
+    def _run_pending(
+        self,
+        pending: Dict[str, SimulationPoint],
+        counters: Dict[str, int],
+        record: Callable[[str, SimulationPoint, SimulationStats], None],
+        say: ProgressCallback,
+    ) -> None:
+        """Simulate every point in ``pending`` and record the results."""
+        jobs = self.jobs
+
+        if not self.use_trace_replay:
+            pending_items = list(pending.items())
+
+            def on_result(index: int, payload) -> None:
+                key, point = pending_items[index]
+                stats = (
+                    SimulationStats.from_dict(payload) if isinstance(payload, dict)
+                    else payload
+                )
+                record(key, point, stats)
+
+            fan_out(
+                [point for _, point in pending_items],
+                worker=run_simulation_point,
+                jobs=jobs,
+                remote_worker=_execute_remote,
+                on_result=on_result,
+            )
+            return
+
+        traces = self.trace_store
+
+        # Group the pending points by the decoded trace that can drive them.
+        groups: Dict[str, List[Tuple[str, SimulationPoint]]] = {}
+        for key, point in pending.items():
+            groups.setdefault(point.trace_key(), []).append((key, point))
+
+        if jobs <= 1:
+            for group_key, members in groups.items():
+                trace = traces.get(group_key)
+                recorded_stats = None
+                if trace is None:
+                    trace, recorded_stats = record_point_trace(members[0][1])
+                    traces.put(trace)
+                    counters["traces_recorded"] += 1
+                else:
+                    counters["traces_reused"] += 1
+                for index, (key, point) in enumerate(members):
+                    if index == 0 and recorded_stats is not None:
+                        record(key, point, recorded_stats)
+                    else:
+                        record(key, point, run_simulation_point(point, trace))
+            return
+
+        # Parallel: phase R records one trace per missing group (each worker
+        # also replays the group's first point while the trace is hot), then
+        # phase B batches the remaining points so each worker receives a
+        # group's trace once per dispatch rather than once per point.
+        on_disk = bool(traces.trace_dir)
+        payloads: Dict[str, Optional[dict]] = {}
+        record_groups: List[Tuple[str, List[Tuple[str, SimulationPoint]]]] = []
+        batch_members: List[Tuple[str, SimulationPoint, str]] = []
+
+        for group_key, members in groups.items():
+            trace = traces.get(group_key)
+            if trace is None:
+                record_groups.append((group_key, members))
+            else:
+                counters["traces_reused"] += 1
+                payloads[group_key] = None if on_disk else trace.to_payload()
+                batch_members.extend(
+                    (key, point, group_key) for key, point in members
+                )
+
+        if record_groups:
+            counters["traces_recorded"] += len(record_groups)
+
+            def on_recorded(index: int, result) -> None:
+                group_key, members = record_groups[index]
+                payload, stats_dict = result
+                payloads[group_key] = payload  # None when persisted to disk
+                first_key, first_point = members[0]
+                record(first_key, first_point, SimulationStats.from_dict(stats_dict))
+                batch_members.extend(
+                    (key, point, group_key) for key, point in members[1:]
+                )
+
+            fan_out(
+                [
+                    _RecordTask(point=members[0][1],
+                                cache_dir=traces.cache_dir if on_disk else None)
+                    for _, members in record_groups
+                ],
+                worker=_record_remote,
+                jobs=jobs,
+                on_result=on_recorded,
+            )
+
+        if batch_members:
+            # Chunk each group's members so the group spreads across workers;
+            # a worker decodes/loads the trace once per batch and keeps it
+            # warm in its process-global cache for later batches.
+            batches: List[Tuple[_TraceBatch, List[Tuple[str, SimulationPoint]]]] = []
+            by_group: Dict[str, List[Tuple[str, SimulationPoint]]] = {}
+            for key, point, group_key in batch_members:
+                by_group.setdefault(group_key, []).append((key, point))
+            for group_key, members in by_group.items():
+                chunk = max(1, math.ceil(len(members) / jobs))
+                for start in range(0, len(members), chunk):
+                    part = members[start:start + chunk]
+                    batches.append(
+                        (
+                            _TraceBatch(
+                                points=tuple(point for _, point in part),
+                                trace_key=group_key,
+                                payload=payloads.get(group_key),
+                                cache_dir=traces.cache_dir if on_disk else None,
+                            ),
+                            part,
+                        )
+                    )
+
+            def on_batch(index: int, results: List[dict]) -> None:
+                _, part = batches[index]
+                for (key, point), stats_dict in zip(part, results):
+                    record(key, point, SimulationStats.from_dict(stats_dict))
+
+            fan_out(
+                [batch for batch, _ in batches],
+                worker=_batch_remote,
+                jobs=jobs,
+                on_result=on_batch,
+            )
+
 
 def execute_points(
     points: Sequence[SimulationPoint],
@@ -356,182 +721,14 @@ def execute_points(
 ) -> Dict[str, int]:
     """Ensure every point's result is present in ``store``.
 
-    Returns a summary dictionary (``requested``, ``unique``, ``cached``,
-    ``executed``, ``traces_recorded``, ``traces_reused``,
-    ``elapsed_seconds``) that the runner logs.  ``use_trace_replay=False``
-    (the ``--no-trace-replay`` escape hatch) runs every point live with
-    its own workload generation and frontend, as the engine did before
-    the trace subsystem existed.
+    One-shot convenience over :class:`SweepEngine` for callers without a
+    long-lived engine; see :meth:`SweepEngine.execute` for the returned
+    summary dictionary.
     """
-    started = time.time()
-    points = list(points)
-    requested = len(points)
-    unique = dedupe_points(points)
-    pending: Dict[str, SimulationPoint] = {
-        key: point for key, point in unique.items() if store.get(key) is None
-    }
-    cached = len(unique) - len(pending)
-
-    def say(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
-    say(
-        f"schedule: {requested} runs requested, {len(unique)} unique, "
-        f"{cached} cached, {len(pending)} to simulate"
-        + (f" on {jobs} workers" if jobs > 1 and pending else "")
-        + ("" if use_trace_replay or not pending else " (live frontend)")
+    engine = SweepEngine(
+        store=store,
+        jobs=jobs,
+        use_trace_replay=use_trace_replay,
+        trace_store=trace_store,
     )
-
-    done = 0
-    total_pending = len(pending)
-
-    def record(key: str, point: SimulationPoint, stats: SimulationStats) -> None:
-        nonlocal done
-        store.put(key, stats, metadata=point.metadata())
-        done += 1
-        say(
-            f"[{done}/{total_pending}] {point.benchmark} @ {point.architecture} "
-            f"(t={time.time() - started:.1f}s)"
-        )
-
-    counters = {
-        "requested": requested,
-        "unique": len(unique),
-        "cached": cached,
-        "executed": len(pending),
-        "traces_recorded": 0,
-        "traces_reused": 0,
-    }
-
-    if not pending:
-        counters["elapsed_seconds"] = round(time.time() - started, 1)
-        return counters
-
-    if not use_trace_replay:
-        pending_items = list(pending.items())
-
-        def on_result(index: int, payload) -> None:
-            key, point = pending_items[index]
-            stats = (
-                SimulationStats.from_dict(payload) if isinstance(payload, dict)
-                else payload
-            )
-            record(key, point, stats)
-
-        fan_out(
-            [point for _, point in pending_items],
-            worker=run_simulation_point,
-            jobs=jobs,
-            remote_worker=_execute_remote,
-            on_result=on_result,
-        )
-        counters["elapsed_seconds"] = round(time.time() - started, 1)
-        return counters
-
-    traces = trace_store if trace_store is not None else TraceStore(store.cache_dir)
-
-    # Group the pending points by the decoded trace that can drive them.
-    groups: Dict[str, List[Tuple[str, SimulationPoint]]] = {}
-    for key, point in pending.items():
-        groups.setdefault(point.trace_key(), []).append((key, point))
-
-    if jobs <= 1:
-        for group_key, members in groups.items():
-            trace = traces.get(group_key)
-            recorded_stats = None
-            if trace is None:
-                trace, recorded_stats = record_point_trace(members[0][1])
-                traces.put(trace)
-                counters["traces_recorded"] += 1
-            else:
-                counters["traces_reused"] += 1
-            for index, (key, point) in enumerate(members):
-                if index == 0 and recorded_stats is not None:
-                    record(key, point, recorded_stats)
-                else:
-                    record(key, point, run_simulation_point(point, trace))
-        counters["elapsed_seconds"] = round(time.time() - started, 1)
-        return counters
-
-    # Parallel: phase R records one trace per missing group (each worker
-    # also replays the group's first point while the trace is hot), then
-    # phase B batches the remaining points so each worker receives a
-    # group's trace once per dispatch rather than once per point.
-    on_disk = bool(traces.trace_dir)
-    payloads: Dict[str, Optional[dict]] = {}
-    record_groups: List[Tuple[str, List[Tuple[str, SimulationPoint]]]] = []
-    batch_members: List[Tuple[str, SimulationPoint, str]] = []
-
-    for group_key, members in groups.items():
-        trace = traces.get(group_key)
-        if trace is None:
-            record_groups.append((group_key, members))
-        else:
-            counters["traces_reused"] += 1
-            payloads[group_key] = None if on_disk else trace.to_payload()
-            batch_members.extend(
-                (key, point, group_key) for key, point in members
-            )
-
-    if record_groups:
-        counters["traces_recorded"] += len(record_groups)
-
-        def on_recorded(index: int, result) -> None:
-            group_key, members = record_groups[index]
-            payload, stats_dict = result
-            payloads[group_key] = payload  # None when persisted to disk
-            first_key, first_point = members[0]
-            record(first_key, first_point, SimulationStats.from_dict(stats_dict))
-            batch_members.extend(
-                (key, point, group_key) for key, point in members[1:]
-            )
-
-        fan_out(
-            [
-                _RecordTask(point=members[0][1], cache_dir=traces.cache_dir if on_disk else None)
-                for _, members in record_groups
-            ],
-            worker=_record_remote,
-            jobs=jobs,
-            on_result=on_recorded,
-        )
-
-    if batch_members:
-        # Chunk each group's members so the group spreads across workers;
-        # a worker decodes/loads the trace once per batch and keeps it
-        # warm in its process-global cache for later batches.
-        batches: List[Tuple[_TraceBatch, List[Tuple[str, SimulationPoint]]]] = []
-        by_group: Dict[str, List[Tuple[str, SimulationPoint]]] = {}
-        for key, point, group_key in batch_members:
-            by_group.setdefault(group_key, []).append((key, point))
-        for group_key, members in by_group.items():
-            chunk = max(1, math.ceil(len(members) / jobs))
-            for start in range(0, len(members), chunk):
-                part = members[start:start + chunk]
-                batches.append(
-                    (
-                        _TraceBatch(
-                            points=tuple(point for _, point in part),
-                            trace_key=group_key,
-                            payload=payloads.get(group_key),
-                            cache_dir=traces.cache_dir if on_disk else None,
-                        ),
-                        part,
-                    )
-                )
-
-        def on_batch(index: int, results: List[dict]) -> None:
-            _, part = batches[index]
-            for (key, point), stats_dict in zip(part, results):
-                record(key, point, SimulationStats.from_dict(stats_dict))
-
-        fan_out(
-            [batch for batch, _ in batches],
-            worker=_batch_remote,
-            jobs=jobs,
-            on_result=on_batch,
-        )
-
-    counters["elapsed_seconds"] = round(time.time() - started, 1)
-    return counters
+    return engine.execute(points, progress=progress)

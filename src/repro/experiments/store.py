@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from typing import Callable, Dict, Optional
 
 from repro.pipeline.config import ProcessorConfig
@@ -85,6 +86,11 @@ class ResultStore:
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         self.cache_dir = cache_dir
         self._memory: Dict[str, SimulationStats] = {}
+        # Concurrent SweepEngine.execute calls (the sweep service's job
+        # threads) share one store; the lock keeps the counters exact so
+        # /metrics hit rates are trustworthy.  Disk writes were already
+        # atomic and need no serialization.
+        self._counter_lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -135,20 +141,24 @@ class ResultStore:
         """Fetch a result, promoting disk entries into the memory tier."""
         stats = self._memory.get(key)
         if stats is not None:
-            self.memory_hits += 1
+            with self._counter_lock:
+                self.memory_hits += 1
             return stats
         stats = self._load_from_disk(key)
         if stats is not None:
             self._memory[key] = stats
-            self.disk_hits += 1
+            with self._counter_lock:
+                self.disk_hits += 1
             return stats
-        self.misses += 1
+        with self._counter_lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, stats: SimulationStats, metadata: Optional[dict] = None) -> None:
         """Record a result in both tiers (the disk write is atomic)."""
         self._memory[key] = stats
-        self.stores += 1
+        with self._counter_lock:
+            self.stores += 1
         if not self.cache_dir:
             return
         payload = {

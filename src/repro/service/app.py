@@ -1,0 +1,329 @@
+"""The sweep service core: job admission, execution and metrics.
+
+:class:`ServiceApp` is the whole service minus HTTP: it owns the shared
+:class:`~repro.experiments.scheduler.SweepEngine` (one warm worker pool
+and one result/trace cache for the service's lifetime), the job
+registry/queue and the executor threads.  The HTTP layer
+(:mod:`repro.service.server`) is a thin translation onto these methods,
+which keeps every behaviour — admission errors, dedup, resume, drain —
+testable without sockets.
+
+Deduplication happens at two levels, both inherited from the engine:
+
+* **completed points** are served from the ``ResultStore``/``TraceStore``
+  (a re-submitted figure is ~instant, ``executed == 0``);
+* **in-flight points** submitted concurrently by different jobs are
+  single-flighted — one job simulates, the others wait on the shared
+  result and report the points as ``shared_inflight``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from datetime import datetime, timezone
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.common import SimulationCache
+from repro.experiments.scheduler import SweepEngine, dedupe_points
+from repro.experiments.store import ResultStore
+from repro.service import spec as spec_mod
+from repro.service.jobs import (
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+    JobStore,
+    new_job_id,
+)
+from repro.service.spec import ApiError
+from repro.trace import TraceStore
+from repro.version import __version__
+
+#: Metrics/health payload schema; bump on layout changes.
+METRICS_SCHEMA_VERSION = 1
+
+#: Progress sink for one-line status messages.
+ProgressCallback = Callable[[str], None]
+
+
+def _hit_rate(counters: Dict[str, int]) -> float:
+    hits = counters.get("memory_hits", 0) + counters.get("disk_hits", 0)
+    lookups = hits + counters.get("misses", 0)
+    return round(hits / lookups, 4) if lookups else 0.0
+
+
+class ServiceApp:
+    """Long-lived sweep service over one shared :class:`SweepEngine`."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        job_concurrency: int = 1,
+        use_trace_replay: bool = True,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if job_concurrency < 1:
+            raise ValueError("job_concurrency must be at least 1")
+        self.cache_dir = cache_dir
+        self.progress = progress
+        self.store = ResultStore(cache_dir=cache_dir)
+        self.trace_store = TraceStore(cache_dir)
+        self.engine = SweepEngine(
+            store=self.store,
+            jobs=jobs,
+            use_trace_replay=use_trace_replay,
+            trace_store=self.trace_store,
+        )
+        self.job_store = JobStore(cache_dir)
+        self.queue = JobQueue()
+        self.job_concurrency = job_concurrency
+        self.started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        self._started_clock = time.time()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        #: Validated plans of jobs admitted by *this* process; resumed
+        #: jobs re-validate from their persisted spec instead.
+        self._plans: Dict[str, spec_mod.JobPlan] = {}
+        self._points_lock = threading.Lock()
+        self._point_totals = {
+            "requested": 0,
+            "unique": 0,
+            "completed": 0,
+            "executed": 0,
+            "from_cache": 0,
+            "shared_inflight": 0,
+        }
+        self.resumed_jobs = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def start(self) -> None:
+        """Load persisted jobs (resuming unfinished ones), start executors."""
+        self._stop.clear()  # a stopped app can be started again
+        for job in self.job_store.load_all():
+            resume = job.state in (QUEUED, RUNNING)
+            if job.state == RUNNING:
+                # The previous process died mid-job; run it again from
+                # the top — completed points are all cache hits, so the
+                # rerun only pays for what was actually lost.
+                job.state = QUEUED
+                job.started_at = None
+                self.job_store.save(job)
+            self.queue.add(job, enqueue=resume)
+            if resume:
+                self.resumed_jobs += 1
+                self._say(f"resume: job {job.id} re-queued ({job.state})")
+        if self.job_store.quarantined:
+            self._say(
+                f"job store: quarantined {self.job_store.quarantined} "
+                f"unreadable job record(s)"
+            )
+        for index in range(self.job_concurrency):
+            thread = threading.Thread(
+                target=self._executor_loop,
+                name=f"sweep-executor-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the executors; with ``drain`` the running jobs finish first.
+
+        Queued jobs are left in the (persistent) job store untouched —
+        a later :meth:`start` on the same cache dir picks them up.
+        """
+        self._stop.set()
+        if drain:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        self._threads = []
+        self.engine.close()
+
+    # ------------------------------------------------------------------
+    # admission and queries
+    # ------------------------------------------------------------------
+
+    def submit(self, payload) -> Job:
+        """Validate a submission and enqueue a job (raises ApiError)."""
+        plan = spec_mod.validate_submission(payload)
+        points = plan.plan_points()
+        job = Job(
+            id=new_job_id(),
+            spec=plan.spec,
+            priority=int(plan.spec.get("priority", 0)),
+        )
+        job.points["requested"] = len(points)
+        job.points["unique"] = len(dedupe_points(points))
+        with self._points_lock:
+            self._point_totals["requested"] += len(points)
+        self._plans[job.id] = plan
+        self.job_store.save(job)
+        self.queue.add(job)
+        self._say(
+            f"job {job.id}: queued ({job.points['unique']} unique points, "
+            f"priority {job.priority})"
+        )
+        return job
+
+    def get_job(self, job_id: str) -> Job:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise ApiError(404, "job_not_found", f"no job with id {job_id!r}")
+        return job
+
+    def job_result(self, job_id: str, fmt: str = "json"):
+        """The result payload of a completed job (dict for json, str for csv)."""
+        if fmt not in ("json", "csv"):
+            raise ApiError(400, "bad_format",
+                           f"unsupported result format {fmt!r} (json or csv)")
+        job = self.get_job(job_id)
+        if job.state == FAILED:
+            error = job.error or {}
+            raise ApiError(
+                409, "job_failed",
+                f"job {job_id} failed: "
+                f"[{error.get('code', 'unknown')}] {error.get('message', '')}",
+            )
+        if job.state != COMPLETED or job.result is None:
+            raise ApiError(
+                409, "job_not_completed",
+                f"job {job_id} is {job.state}; results exist once it completes",
+            )
+        if fmt == "csv":
+            return spec_mod.result_to_csv(job.result)
+        return {"id": job.id, "version": __version__, "result": job.result}
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.next_job(timeout=0.2)
+            if job is None:
+                continue
+            if job.terminal:  # defensively skip stale queue entries
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.mark_running()
+        self.job_store.save(job)
+        self._say(f"job {job.id}: running")
+        try:
+            plan = self._plans.pop(job.id, None)
+            if plan is None:  # resumed from the job store after a restart
+                plan = spec_mod.validate_submission(job.spec)
+            points = plan.plan_points()
+            job.points["requested"] = len(points)
+            job.points["unique"] = len(dedupe_points(points))
+
+            def on_point(_point) -> None:
+                job.points["completed"] += 1
+
+            counters = self.engine.execute(
+                points, progress=self.progress, on_point=on_point
+            )
+            job.points["completed"] = counters["unique"]
+            if plan.kind == "figures":
+                cache = SimulationCache(plan.settings, store=self.store)
+                result = spec_mod.assemble_figure_result(plan, cache)
+            else:
+                result = spec_mod.assemble_points_result(plan, self.store)
+            job.mark_completed(result, counters)
+            with self._points_lock:
+                self._point_totals["unique"] += counters["unique"]
+                self._point_totals["completed"] += counters["unique"]
+                self._point_totals["executed"] += counters["executed"]
+                self._point_totals["from_cache"] += counters["cached"]
+                self._point_totals["shared_inflight"] += counters["shared_inflight"]
+            self._say(
+                f"job {job.id}: completed ({counters['executed']} executed, "
+                f"{counters['cached']} cached, "
+                f"{counters['shared_inflight']} shared in-flight)"
+            )
+        except ApiError as error:
+            job.mark_failed(error.code, error.message)
+        except BrokenProcessPool as error:
+            job.mark_failed(
+                "worker_crashed",
+                f"a simulation worker process died mid-job: {error} "
+                f"(the warm pool was reset; re-submit to retry)",
+            )
+        except ReproError as error:
+            job.mark_failed("execution_error", str(error))
+        except Exception as error:  # noqa: BLE001 - jobs must never wedge the loop
+            job.mark_failed("internal_error", f"{type(error).__name__}: {error}")
+        finally:
+            if job.state == FAILED:
+                error = job.error or {}
+                self._say(
+                    f"job {job.id}: failed [{error.get('code')}] "
+                    f"{error.get('message')}"
+                )
+            self.job_store.save(job)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return round(time.time() - self._started_clock, 1)
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "started_at": self.started_at,
+            "uptime_seconds": self.uptime_seconds(),
+            "jobs": self.queue.by_state(),
+        }
+
+    def metrics(self) -> dict:
+        uptime = self.uptime_seconds()
+        with self._points_lock:
+            points = dict(self._point_totals)
+        points["per_minute"] = (
+            round(points["completed"] * 60.0 / uptime, 2) if uptime > 0 else 0.0
+        )
+        result_cache = self.store.counters()
+        trace_cache = self.trace_store.counters()
+        engine_totals = self.engine.totals()
+        by_state = self.queue.by_state()
+        return {
+            "schema": METRICS_SCHEMA_VERSION,
+            "version": __version__,
+            "started_at": self.started_at,
+            "uptime_seconds": uptime,
+            "queue": {"depth": self.queue.depth()},
+            "jobs": {**by_state, "total": sum(by_state.values()),
+                     "resumed": self.resumed_jobs},
+            "points": points,
+            "result_cache": {**result_cache, "hit_rate": _hit_rate(result_cache)},
+            "trace_cache": {**trace_cache, "hit_rate": _hit_rate(trace_cache)},
+            "engine": {
+                "jobs": self.engine.jobs,
+                "job_concurrency": self.job_concurrency,
+                "use_trace_replay": self.engine.use_trace_replay,
+                **engine_totals,
+            },
+            "job_store": {
+                "persistent": bool(self.job_store.job_dir),
+                "quarantined": self.job_store.quarantined,
+            },
+        }

@@ -1,0 +1,137 @@
+"""HTTP client for the sweep service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` wraps the JSON API; server-side rejections are
+re-raised as :class:`ServiceError` carrying the server's structured
+``error.code``/``message`` verbatim, so the client CLI can print exactly
+what the service said.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.service.jobs import TERMINAL_STATES
+
+#: Default address of ``python -m repro.service serve``.
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+class ServiceError(ReproError):
+    """A request the service rejected (or could not be delivered at all)."""
+
+    def __init__(self, message: str, code: str = "unreachable",
+                 status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+    def __str__(self) -> str:
+        prefix = f"[{self.code}] " if self.code else ""
+        return f"{prefix}{super().__str__()}"
+
+
+class ServiceClient:
+    """Typed access to every endpoint of the sweep service."""
+
+    def __init__(self, base_url: str = DEFAULT_URL, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None, raw: bool = False):
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(body)["error"]
+                raise ServiceError(str(detail.get("message", body)),
+                                   code=str(detail.get("code", "http_error")),
+                                   status=error.code) from error
+            except (ValueError, KeyError, TypeError):
+                raise ServiceError(f"HTTP {error.code}: {body.strip()}",
+                                   code="http_error", status=error.code) from error
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: {error}"
+            ) from error
+        if raw:
+            return body
+        try:
+            return json.loads(body)
+        except ValueError as error:
+            raise ServiceError(
+                f"service returned invalid JSON: {error}", code="bad_response"
+            ) from error
+
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: dict) -> dict:
+        return self._request("POST", "/jobs", payload=spec)
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/jobs")
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str, fmt: str = "json"):
+        raw = fmt == "csv"
+        return self._request("GET", f"/jobs/{job_id}/result?format={fmt}",
+                             raw=raw)
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        job_id: str,
+        interval: float = 0.5,
+        timeout: Optional[float] = None,
+        on_update=None,
+    ) -> dict:
+        """Poll a job until it reaches a terminal state.
+
+        ``on_update`` (if given) receives every observed job record —
+        the CLI uses it to print progress lines.  Raises
+        :class:`ServiceError` when ``timeout`` elapses first.
+        """
+        deadline = time.time() + timeout if timeout is not None else None
+        last_completed = -1
+        while True:
+            job = self.status(job_id)
+            completed = int(job.get("points", {}).get("completed", 0))
+            if on_update is not None and (
+                completed != last_completed or job.get("state") in TERMINAL_STATES
+            ):
+                on_update(job)
+                last_completed = completed
+            if job.get("state") in TERMINAL_STATES:
+                return job
+            if deadline is not None and time.time() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job {job_id}",
+                    code="watch_timeout",
+                )
+            time.sleep(interval)

@@ -1,0 +1,295 @@
+"""Job model, priority queue and the schema-versioned on-disk job store.
+
+A *job* is one submitted sweep: either a named figure plan plus
+settings, or an explicit list of simulation points.  Jobs move through
+``queued -> running -> completed | failed``; every transition is
+persisted (atomically, one JSON file per job) so a restarted service
+resumes exactly where the previous process stopped — ``queued`` jobs
+re-enter the queue, and jobs that were ``running`` when the process
+died are re-queued rather than lost.
+
+Corrupt or schema-mismatching job files are **quarantined**: moved into
+a ``quarantine/`` subdirectory and counted, mirroring the
+:class:`~repro.trace.store.TraceStore` convention that a bad cache file
+is a miss, never a crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import queue
+import tempfile
+import threading
+import uuid
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+from repro.version import __version__
+
+#: Bump when the on-disk job payload layout changes; mismatching files
+#: are quarantined as misses rather than errors.
+SCHEMA_VERSION = 1
+
+#: Subdirectory of the cache dir reserved for job records.
+JOB_SUBDIR = "jobs"
+
+#: Subdirectory of the job dir holding quarantined (unreadable) records.
+QUARANTINE_SUBDIR = "quarantine"
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+STATES = (QUEUED, RUNNING, COMPLETED, FAILED)
+
+#: States a job can never leave.
+TERMINAL_STATES = (COMPLETED, FAILED)
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One submitted sweep and everything the API reports about it."""
+
+    id: str
+    spec: dict
+    priority: int = 0
+    state: str = QUEUED
+    submitted_at: str = field(default_factory=_now)
+    started_at: Optional[str] = None
+    finished_at: Optional[str] = None
+    #: Point accounting: ``requested``/``unique`` are known at admission,
+    #: ``completed`` grows while the job runs.
+    points: Dict[str, int] = field(default_factory=lambda: {
+        "requested": 0, "unique": 0, "completed": 0,
+    })
+    #: The scheduler summary of the finished run (cache hits, executed,
+    #: traces recorded/reused, ...).
+    counters: Optional[dict] = None
+    error: Optional[dict] = None
+    result: Optional[dict] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # ------------------------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.state = RUNNING
+        self.started_at = _now()
+
+    def mark_completed(self, result: dict, counters: dict) -> None:
+        # Publish the payload before flipping the state: readers in other
+        # threads treat a terminal state as "the result is there".
+        self.result = result
+        self.counters = counters
+        self.finished_at = _now()
+        self.state = COMPLETED
+
+    def mark_failed(self, code: str, message: str) -> None:
+        self.error = {"code": code, "message": message}
+        self.finished_at = _now()
+        self.state = FAILED
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self, include_result: bool = False) -> dict:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "version": __version__,
+            "id": self.id,
+            "state": self.state,
+            "priority": self.priority,
+            "spec": self.spec,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "points": dict(self.points),
+            "counters": self.counters,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Job":
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported job schema {payload.get('schema')!r}"
+            )
+        job_id = payload["id"]
+        state = payload["state"]
+        if not isinstance(job_id, str) or state not in STATES:
+            raise ValueError("malformed job record")
+        points = payload.get("points") or {}
+        return cls(
+            id=job_id,
+            spec=dict(payload.get("spec") or {}),
+            priority=int(payload.get("priority", 0)),
+            state=state,
+            submitted_at=str(payload.get("submitted_at", "")),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            points={
+                "requested": int(points.get("requested", 0)),
+                "unique": int(points.get("unique", 0)),
+                "completed": int(points.get("completed", 0)),
+            },
+            counters=payload.get("counters"),
+            error=payload.get("error"),
+            result=payload.get("result"),
+        )
+
+
+# ----------------------------------------------------------------------
+# on-disk store
+# ----------------------------------------------------------------------
+
+
+class JobStore:
+    """One JSON file per job under ``<cache-dir>/jobs/`` (atomic writes).
+
+    Without a ``cache_dir`` the store is memory-less: saves are no-ops
+    and :meth:`load_all` returns nothing, so a cache-less service simply
+    has no persistence (jobs die with the process, by design).
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self.job_dir = os.path.join(cache_dir, JOB_SUBDIR) if cache_dir else None
+        self.quarantined = 0
+        if self.job_dir:
+            os.makedirs(self.job_dir, exist_ok=True)
+
+    def _path(self, job_id: str) -> str:
+        return os.path.join(self.job_dir, f"{job_id}.json")  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+
+    def save(self, job: Job) -> None:
+        """Persist one job record (atomic replace; no-op without a dir)."""
+        if not self.job_dir:
+            return
+        payload = job.to_dict(include_result=True)
+        fd, tmp_path = tempfile.mkstemp(dir=self.job_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=str)
+            os.replace(tmp_path, self._path(job.id))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _quarantine(self, path: str) -> None:
+        """Move an unreadable job file aside so it is never retried."""
+        quarantine_dir = os.path.join(self.job_dir, QUARANTINE_SUBDIR)  # type: ignore[arg-type]
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            os.replace(path, os.path.join(quarantine_dir, os.path.basename(path)))
+        except OSError:
+            pass
+        self.quarantined += 1
+
+    def load_all(self) -> List[Job]:
+        """Every readable job record, oldest submission first.
+
+        Unreadable, corrupt or schema-mismatching files are quarantined
+        and skipped — the same "bad cache entry is a miss" semantics as
+        the trace store, so one damaged record can never wedge startup.
+        """
+        if not self.job_dir:
+            return []
+        jobs: List[Job] = []
+        try:
+            names = sorted(os.listdir(self.job_dir))
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.job_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                job = Job.from_dict(payload)
+                if job.id != name[: -len(".json")]:
+                    raise ValueError("job id does not match its filename")
+            except (OSError, ValueError, KeyError, TypeError):
+                self._quarantine(path)
+                continue
+            jobs.append(job)
+        jobs.sort(key=lambda job: job.submitted_at)
+        return jobs
+
+
+# ----------------------------------------------------------------------
+# in-memory registry + priority queue
+# ----------------------------------------------------------------------
+
+
+class JobQueue:
+    """Thread-safe job registry with a priority dispatch queue.
+
+    Higher ``priority`` runs first; jobs of equal priority run in
+    submission order.  The registry keeps every job (including finished
+    ones) for status queries; the queue holds only runnable job ids.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.PriorityQueue[tuple]" = queue.PriorityQueue()
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def add(self, job: Job, enqueue: bool = True) -> None:
+        with self._lock:
+            self._jobs[job.id] = job
+        if enqueue:
+            self._queue.put((-job.priority, next(self._sequence), job.id))
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def by_state(self) -> Dict[str, int]:
+        counts = {state: 0 for state in STATES}
+        for job in self.jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Number of jobs waiting for an executor (approximate)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the highest-priority queued job; ``None`` on timeout."""
+        try:
+            _, _, job_id = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        return self.get(job_id)

@@ -1,0 +1,163 @@
+"""Stdlib HTTP front-end of the sweep service.
+
+Routes (all JSON unless ``format=csv``)::
+
+    POST /jobs                  submit a figure plan or explicit points
+    GET  /jobs                  summary list of known jobs
+    GET  /jobs/<id>             one job's status record
+    GET  /jobs/<id>/result      completed job's result (?format=json|csv)
+    GET  /healthz               liveness + version
+    GET  /metrics               queue depth, jobs by state, points/min,
+                                cache hit rates, worker-pool resets
+
+Every error — including unknown routes and internal failures — is a
+structured JSON body ``{"error": {"code": ..., "message": ...}}``; a
+client never sees an HTML traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.app import ServiceApp
+from repro.service.spec import ApiError
+
+#: Submissions larger than this are rejected outright (a malformed
+#: Content-Length must not let a request buffer without bound).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto :class:`ServiceApp` methods."""
+
+    server_version = "repro-sweep-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.app.progress is not None:
+            self.app.progress("http: " + format % args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True, default=str)
+        self._send_body(status, body + "\n", "application/json")
+
+    def _send_body(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_error(self, error: ApiError) -> None:
+        self._send_json(error.status, error.to_dict())
+
+    # ------------------------------------------------------------------
+
+    def _job_route(self, path: str) -> Tuple[Optional[str], Optional[str]]:
+        """``/jobs/<id>[/result]`` -> (job_id, subresource)."""
+        parts = [part for part in path.split("/") if part]
+        if not parts or parts[0] != "jobs":
+            return None, None
+        if len(parts) == 1:
+            return "", None
+        if len(parts) == 2:
+            return parts[1], None
+        if len(parts) == 3:
+            return parts[1], parts[2]
+        return None, None
+
+    def _read_body(self) -> bytes:
+        length = self.headers.get("Content-Length")
+        try:
+            size = int(length) if length is not None else 0
+        except ValueError as exc:
+            raise ApiError(400, "bad_request", "invalid Content-Length") from exc
+        if size < 0 or size > MAX_BODY_BYTES:
+            raise ApiError(400, "bad_request",
+                           f"request body must be 0..{MAX_BODY_BYTES} bytes")
+        return self.rfile.read(size) if size else b""
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            parsed = urlparse(self.path)
+            path = parsed.path
+            if path in ("/healthz", "/healthz/"):
+                self._send_json(200, self.app.health())
+                return
+            if path in ("/metrics", "/metrics/"):
+                self._send_json(200, self.app.metrics())
+                return
+            job_id, sub = self._job_route(path)
+            if job_id == "" and sub is None:
+                jobs = [job.to_dict() for job in self.app.queue.jobs()]
+                jobs.sort(key=lambda entry: entry["submitted_at"])
+                self._send_json(200, {"jobs": jobs})
+                return
+            if job_id and sub is None:
+                self._send_json(200, self.app.get_job(job_id).to_dict())
+                return
+            if job_id and sub == "result":
+                params = parse_qs(parsed.query)
+                fmt = params.get("format", ["json"])[-1]
+                result = self.app.job_result(job_id, fmt=fmt)
+                if fmt == "csv":
+                    self._send_body(200, result, "text/csv")
+                else:
+                    self._send_json(200, result)
+                return
+            raise ApiError(404, "not_found", f"no route for GET {path}")
+        except ApiError as error:
+            self._send_error(error)
+        except Exception as error:  # noqa: BLE001 - no tracebacks on the wire
+            self._send_error(ApiError(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            ))
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        try:
+            path = urlparse(self.path).path
+            if path not in ("/jobs", "/jobs/"):
+                raise ApiError(404, "not_found", f"no route for POST {path}")
+            body = self._read_body()
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ApiError(400, "bad_request",
+                               f"request body is not valid JSON: {exc}") from exc
+            job = self.app.submit(payload)
+            self._send_json(202, job.to_dict())
+        except ApiError as error:
+            self._send_error(error)
+        except Exception as error:  # noqa: BLE001 - no tracebacks on the wire
+            self._send_error(ApiError(
+                500, "internal_error", f"{type(error).__name__}: {error}"
+            ))
+
+
+class SweepServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the :class:`ServiceApp` reference."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ServiceApp) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.app = app
+
+
+def build_server(app: ServiceApp, host: str = "127.0.0.1",
+                 port: int = 8642) -> SweepServiceServer:
+    """Bind the service to ``host:port`` (``port=0`` picks a free port)."""
+    return SweepServiceServer((host, port), app)

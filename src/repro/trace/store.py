@@ -16,6 +16,7 @@ import gzip
 import json
 import os
 import tempfile
+import threading
 from typing import Dict, Optional
 
 from repro.errors import SimulationError
@@ -32,6 +33,9 @@ class TraceStore:
         self.cache_dir = cache_dir
         self.trace_dir = os.path.join(cache_dir, TRACE_SUBDIR) if cache_dir else None
         self._memory: Dict[str, DecodedTrace] = {}
+        # Concurrent SweepEngine.execute calls (service job threads) share
+        # one trace store; exact counters keep /metrics hit rates honest.
+        self._counter_lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
@@ -69,20 +73,24 @@ class TraceStore:
         """Fetch a trace, promoting disk entries into the memory tier."""
         trace = self._memory.get(key)
         if trace is not None:
-            self.memory_hits += 1
+            with self._counter_lock:
+                self.memory_hits += 1
             return trace
         trace = self._load_from_disk(key)
         if trace is not None:
             self._memory[key] = trace
-            self.disk_hits += 1
+            with self._counter_lock:
+                self.disk_hits += 1
             return trace
-        self.misses += 1
+        with self._counter_lock:
+            self.misses += 1
         return None
 
     def put(self, trace: DecodedTrace) -> None:
         """Record a trace in both tiers (the disk write is atomic)."""
         self._memory[trace.key] = trace
-        self.stores += 1
+        with self._counter_lock:
+            self.stores += 1
         if not self.trace_dir:
             return
         fd, tmp_path = tempfile.mkstemp(dir=self.trace_dir, suffix=".tmp")

@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ValidationError
+from repro.version import __version__
 
 #: Bump when the report layout changes; loading refuses mismatches.
 SCHEMA_VERSION = 1
@@ -134,6 +135,7 @@ class ValidationReport:
     def to_dict(self) -> dict:
         return {
             "schema": self.schema,
+            "version": __version__,
             "created": self.created,
             "quick": self.quick,
             "seeds": list(self.seeds),

@@ -1,0 +1,10 @@
+"""Single source of the package version.
+
+Kept in a dependency-free module so report writers (bench, validate,
+experiments, service) and the build backend can read it without
+importing the whole package.  Bump on every released change to the
+simulation engine or its artifacts: report JSON embeds this value so
+every artifact is attributable to the code that produced it.
+"""
+
+__version__ = "1.1.0"

@@ -83,7 +83,7 @@ class TestRunnerAndReport:
     def test_runner_produces_schema_versioned_report(self, tmp_path):
         scenario = with_budget(headline_scenario(quick=True), 300)
         runner = BenchmarkRunner(quick=True, repeats=1, simulations=[scenario],
-                                 sweeps=[], include_components=False)
+                                 sweeps=[], services=[], include_components=False)
         report = runner.run(index=7)
         assert report.schema == 1
         assert report.index == 7
@@ -211,7 +211,7 @@ class TestCli:
         """Two runs of the same scenario must agree on the stats digest."""
         scenario = with_budget(headline_scenario(quick=True), 200)
         runner = BenchmarkRunner(repeats=1, simulations=[scenario],
-                                 sweeps=[], include_components=False)
+                                 sweeps=[], services=[], include_components=False)
         first = runner.run(index=1).scenarios[0].stats_digest
         second = runner.run(index=2).scenarios[0].stats_digest
         assert first == second
@@ -239,7 +239,7 @@ class TestCli:
                               instructions=300, use_trace_replay=True,
                               headline_sweep=True)
         runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[sweep],
-                                 include_components=False)
+                                 services=[], include_components=False)
         report = runner.run(index=1)
         [result] = report.scenarios
         assert result.kind == "sweep"

@@ -1,0 +1,74 @@
+"""The service_throughput bench scenario and version-stamped reports."""
+
+from __future__ import annotations
+
+from repro import __version__
+from repro.bench.report import environment_fingerprint
+from repro.bench.runner import BenchmarkRunner
+from repro.bench.scenarios import ServiceScenario, service_scenarios
+
+
+class TestServiceScenario:
+    def test_service_round_trip_in_report(self):
+        scenario = ServiceScenario(
+            name="service_throughput/figure6",
+            figure="figure6",
+            instructions=200,
+            warmup_instructions=50,
+            benchmarks=("gcc",),
+        )
+        runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[],
+                                 services=[scenario],
+                                 include_components=False)
+        report = runner.run(index=1)
+        [result] = report.scenarios
+        assert result.kind == "service"
+        assert result.operations == 3  # 3 architectures x 1 benchmark
+        assert result.operations_per_second > 0
+        assert result.stats_digest and len(result.stats_digest) == 64
+        assert result.metadata["transport"] == "http"
+        assert result.metadata["points_per_minute"] > 0
+        assert result.metadata["job_counters"]["executed"] == 3
+
+    def test_scenario_is_quick_eligible_and_stably_named(self):
+        (quick,) = service_scenarios(quick=True)
+        (full,) = service_scenarios(quick=False)
+        # The perf gate matches scenarios by name across reports, so the
+        # quick CI run must carry the same name as the committed baseline.
+        assert quick.name == full.name == "service_throughput/figure6"
+        assert quick.instructions < full.instructions
+
+    def test_deterministic_digest(self):
+        scenario = ServiceScenario(
+            name="service_throughput/figure6",
+            figure="figure6",
+            instructions=200,
+            warmup_instructions=50,
+            benchmarks=("gcc",),
+        )
+        assert scenario.run()["stats_digest"] == scenario.run()["stats_digest"]
+
+
+class TestVersionEmbedding:
+    def test_bench_environment_carries_repro_version(self):
+        assert environment_fingerprint()["repro_version"] == __version__
+
+    def test_validation_report_carries_version(self):
+        from repro.validate.report import ValidationReport
+
+        report = ValidationReport(created="now", quick=True, seeds=[1],
+                                  architectures=["x"])
+        assert report.to_dict()["version"] == __version__
+
+    def test_experiments_json_report_carries_version(self):
+        from repro.experiments.common import ExperimentSettings
+        from repro.experiments.runner import render_json
+        import json
+
+        payload = json.loads(render_json([], ExperimentSettings()))
+        assert payload["version"] == __version__
+
+    def test_single_sourced_version(self):
+        from repro.version import __version__ as module_version
+
+        assert module_version == __version__

@@ -1,0 +1,202 @@
+"""HTTP API and client CLI of the sweep service.
+
+One in-process server (port 0) per test class; requests go through the
+real socket path via :class:`ServiceClient`, raw ``urllib`` for the
+malformed-payload cases, and ``repro.service.__main__`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceApp, ServiceClient, ServiceError, build_server
+from repro.service.__main__ import main as service_main
+from repro.service.jobs import COMPLETED
+
+FIGURE_SPEC = {
+    "figure": "figure6",
+    "settings": {
+        "instructions": 200,
+        "warmup_instructions": 50,
+        "benchmarks": ["gcc"],
+    },
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    app = ServiceApp(cache_dir=str(tmp_path), jobs=1, job_concurrency=2)
+    server = build_server(app, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    app.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    yield url, app
+    server.shutdown()
+    server.server_close()
+    app.stop()
+
+
+def raw_request(url: str, method: str = "GET", body: bytes = None,
+                content_type: str = "application/json"):
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": content_type} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+class TestHttpApi:
+    def test_healthz_and_metrics(self, service):
+        url, _ = service
+        client = ServiceClient(url)
+        health = client.health()
+        from repro import __version__
+
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+        metrics = client.metrics()
+        assert metrics["version"] == __version__
+        assert metrics["queue"]["depth"] == 0
+        assert set(metrics["jobs"]) >= {"queued", "running", "completed",
+                                        "failed", "total"}
+        assert "hit_rate" in metrics["result_cache"]
+        assert "hit_rate" in metrics["trace_cache"]
+        assert "pool_resets" in metrics["engine"]
+
+    def test_submit_watch_result_round_trip(self, service):
+        url, _ = service
+        client = ServiceClient(url)
+        job = client.submit(FIGURE_SPEC)
+        assert job["state"] == "queued"
+        final = client.watch(job["id"], interval=0.05, timeout=120)
+        assert final["state"] == COMPLETED
+        result = client.result(job["id"])
+        assert result["result"]["kind"] == "figures"
+        csv_text = client.result(job["id"], fmt="csv")
+        assert csv_text.startswith("experiment,metric,value")
+        listing = client.jobs()
+        assert any(entry["id"] == job["id"] for entry in listing["jobs"])
+
+    def test_warm_resubmission_executes_nothing(self, service):
+        url, _ = service
+        client = ServiceClient(url)
+        first = client.submit(FIGURE_SPEC)
+        client.watch(first["id"], interval=0.05, timeout=120)
+        executed_before = client.metrics()["points"]["executed"]
+        second = client.submit(FIGURE_SPEC)
+        final = client.watch(second["id"], interval=0.05, timeout=120)
+        assert final["counters"]["executed"] == 0
+        metrics = client.metrics()
+        assert metrics["points"]["executed"] == executed_before
+        assert metrics["points"]["completed"] > executed_before
+
+    def test_unknown_job_is_structured_404(self, service):
+        url, _ = service
+        status, payload = raw_request(f"{url}/jobs/doesnotexist0")
+        assert status == 404
+        assert payload["error"]["code"] == "job_not_found"
+        status, payload = raw_request(f"{url}/jobs/doesnotexist0/result")
+        assert status == 404
+        assert payload["error"]["code"] == "job_not_found"
+
+    def test_malformed_json_is_structured_400(self, service):
+        url, _ = service
+        status, payload = raw_request(f"{url}/jobs", method="POST",
+                                      body=b"{not json at all")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "JSON" in payload["error"]["message"]
+
+    def test_unknown_figure_is_structured_422(self, service):
+        url, _ = service
+        status, payload = raw_request(
+            f"{url}/jobs", method="POST",
+            body=json.dumps({"figure": "figure99"}).encode("utf-8"),
+        )
+        assert status == 422
+        assert payload["error"]["code"] == "unknown_figure"
+
+    def test_unknown_route_is_structured_404(self, service):
+        url, _ = service
+        status, payload = raw_request(f"{url}/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        status, payload = raw_request(f"{url}/healthz", method="POST", body=b"{}")
+        assert status == 404
+
+    def test_result_before_completion_is_409(self, service):
+        url, app = service
+        # Admit without executing: stop the executors first.
+        app.stop(drain=True)
+        client = ServiceClient(url)
+        job = client.submit(FIGURE_SPEC)
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.status == 409
+        assert excinfo.value.code == "job_not_completed"
+
+
+class TestClientErrors:
+    def test_unreachable_service(self):
+        client = ServiceClient("http://127.0.0.1:1", timeout=2)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.code == "unreachable"
+        assert excinfo.value.status is None
+
+
+class TestClientCli:
+    def test_submit_watch_status_result(self, service, capsys):
+        url, _ = service
+        code = service_main([
+            "submit", "--figure", "figure6", "--instructions", "200",
+            "--warmup-instructions", "50", "--benchmarks", "gcc",
+            "--url", url, "--wait",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        job_id = captured.out.strip().splitlines()[-1]
+        assert len(job_id) == 12
+
+        assert service_main(["status", job_id, "--url", url]) == 0
+        status_payload = json.loads(capsys.readouterr().out)
+        assert status_payload["state"] == COMPLETED
+
+        assert service_main(["result", job_id, "--format", "csv",
+                             "--url", url]) == 0
+        assert capsys.readouterr().out.startswith("experiment,metric,value")
+
+        assert service_main(["metrics", "--url", url]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["jobs"]["completed"] >= 1
+
+    def test_cli_surfaces_server_error_verbatim(self, service, capsys):
+        url, _ = service
+        code = service_main(["submit", "--figure", "figure99", "--url", url])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error: [unknown_figure]" in captured.err
+        assert "figure99" in captured.err
+
+    def test_cli_surfaces_404_verbatim(self, service, capsys):
+        url, _ = service
+        code = service_main(["status", "doesnotexist0", "--url", url])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error: [job_not_found]" in captured.err
+        assert "doesnotexist0" in captured.err
+
+    def test_cli_unreachable_exit_code(self, capsys):
+        code = service_main(["health", "--url", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "error: [unreachable]" in capsys.readouterr().err
