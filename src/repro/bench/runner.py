@@ -28,10 +28,12 @@ from repro.bench.scenarios import (
     ComponentScenario,
     ServiceScenario,
     SimulationScenario,
+    StoreScenario,
     SweepScenario,
     component_scenarios,
     service_scenarios,
     simulation_scenarios,
+    store_scenarios,
     sweep_scenarios,
 )
 
@@ -64,6 +66,7 @@ class BenchmarkRunner:
     simulations: Optional[Sequence[SimulationScenario]] = None
     sweeps: Optional[Sequence[SweepScenario]] = None
     services: Optional[Sequence[ServiceScenario]] = None
+    stores: Optional[Sequence[StoreScenario]] = None
     components: Optional[Sequence[ComponentScenario]] = None
     results: List[ScenarioResult] = field(default_factory=list)
 
@@ -158,6 +161,23 @@ class BenchmarkRunner:
             metadata=metadata,
         )
 
+    def run_store(self, scenario: StoreScenario) -> ScenarioResult:
+        """Time one store workout; the metric is operations per second."""
+        wall, outcome = self._time(scenario.run)
+        operations = int(outcome["operations"])
+        metadata = scenario.metadata()
+        metadata["store_stats"] = outcome["store_stats"]
+        return ScenarioResult(
+            name=scenario.name,
+            kind="store",
+            wall_seconds=wall,
+            repeats=max(1, self.repeats),
+            operations=operations,
+            operations_per_second=operations / wall if wall > 0 else 0.0,
+            stats_digest=str(outcome["stats_digest"]),
+            metadata=metadata,
+        )
+
     def run_component(self, scenario: ComponentScenario) -> ScenarioResult:
         wall, operations = self._time(scenario.run)
         count = int(operations) if isinstance(operations, int) else 0
@@ -186,13 +206,18 @@ class BenchmarkRunner:
             self.services if self.services is not None
             else service_scenarios(self.quick)
         )
+        stores = self._selected(
+            self.stores if self.stores is not None
+            else store_scenarios(self.quick)
+        )
         components: Sequence[ComponentScenario] = []
         if self.include_components:
             components = self._selected(
                 self.components if self.components is not None
                 else component_scenarios(self.quick)
             )
-        total = len(simulations) + len(sweeps) + len(services) + len(components)
+        total = (len(simulations) + len(sweeps) + len(services)
+                 + len(stores) + len(components))
         self._say(f"bench: {total} scenarios ({'quick' if self.quick else 'full'} "
                   f"matrix), {max(1, self.repeats)} repeats each")
         calibration = calibration_score()
@@ -218,6 +243,13 @@ class BenchmarkRunner:
             self._say(f"[{done}/{total}] {result.name}: "
                       f"{result.metadata['points_per_minute']:,} points/min "
                       f"via HTTP ({result.wall_seconds:.2f}s)")
+        for scenario in stores:
+            result = self.run_store(scenario)
+            self.results.append(result)
+            done += 1
+            self._say(f"[{done}/{total}] {result.name}: "
+                      f"{result.operations_per_second:,.0f} store ops/s "
+                      f"({result.wall_seconds:.2f}s)")
         for scenario in components:
             result = self.run_component(scenario)
             self.results.append(result)

@@ -2,9 +2,12 @@
 
 :class:`ResultStore` keeps every :class:`~repro.pipeline.stats.SimulationStats`
 produced by the experiment harness in an in-memory dictionary and,
-optionally, mirrors it to a directory of JSON files so that repeated
-invocations of the runner only pay for simulation points they have never
-seen before.
+optionally, mirrors it to a sharded append-only segment log
+(:class:`~repro.storage.sharded.ShardedStore` under
+``<cache_dir>/results/``) so that repeated invocations of the runner
+only pay for simulation points they have never seen before.  Legacy
+file-per-point trees (``<cache_dir>/<key>.json``) are imported byte for
+byte the first time they are opened under the new layout.
 
 Keys are content hashes over everything that determines a simulation's
 outcome: the benchmark name, the register-file architecture (its factory
@@ -14,6 +17,11 @@ The historical in-process cache keyed on a 5-field tuple silently
 collided when two configurations differed in any other field
 (``issue_width``, ``lsq_size``, cache geometry, ...); hashing the whole
 config closes that hole.
+
+The disk tier doubles as the fleet's coordination point: *claims*
+(:meth:`ResultStore.claim_point`) give N service replicas sharing one
+cache tree cross-replica single-flight — only one replica simulates a
+given point, the others poll for its stored result.
 """
 
 from __future__ import annotations
@@ -22,16 +30,24 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import threading
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.stats import SimulationStats
+from repro.storage import ShardedStore, migrate_legacy_files
 
 #: Bump when the on-disk payload layout changes; mismatching entries are
 #: treated as cache misses rather than errors.
 SCHEMA_VERSION = 1
+
+#: Subdirectory of the cache dir holding the sharded result segments.
+RESULT_SUBDIR = "results"
+
+#: Default lifetime of a point claim; generous next to point runtimes so
+#: a live replica never loses a claim mid-simulation, short enough that
+#: a crashed replica's claims expire quickly.
+DEFAULT_CLAIM_TTL = 120.0
 
 
 def _canonical_json(payload) -> str:
@@ -74,6 +90,20 @@ def simulation_key(
     return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
 
 
+def _valid_result_payload(key: str, raw: bytes) -> bool:
+    """Whether raw bytes are a sane (legacy or current) result envelope."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return False
+    return (
+        isinstance(payload, dict)
+        and payload.get("schema") == SCHEMA_VERSION
+        and payload.get("key") == key
+        and "stats" in payload
+    )
+
+
 class ResultStore:
     """In-memory dictionary of results, optionally backed by a directory.
 
@@ -83,20 +113,38 @@ class ResultStore:
     equal-but-distinct object.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        owner: Optional[str] = None,
+        ttl_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.cache_dir = cache_dir
+        #: Identity used for store-level claims (fleet single-flight).
+        self.owner = owner or f"pid-{os.getpid()}"
         self._memory: Dict[str, SimulationStats] = {}
         # Concurrent SweepEngine.execute calls (the sweep service's job
         # threads) share one store; the lock keeps the counters exact so
-        # /metrics hit rates are trustworthy.  Disk writes were already
-        # atomic and need no serialization.
+        # /metrics hit rates are trustworthy.  Disk appends are already
+        # serialized by the shard file locks.
         self._counter_lock = threading.Lock()
         self.memory_hits = 0
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self._disk: Optional[ShardedStore] = None
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
+            self._disk = ShardedStore(
+                os.path.join(cache_dir, RESULT_SUBDIR),
+                ttl_seconds=ttl_seconds,
+                max_bytes=max_bytes,
+            )
+            # Import any pre-segment-log file-per-point tree, byte for byte.
+            migrate_legacy_files(
+                cache_dir, ".json", self._disk.put, _valid_result_payload
+            )
 
     # ------------------------------------------------------------------
 
@@ -106,17 +154,17 @@ class ResultStore:
     def __contains__(self, key: str) -> bool:
         return self.peek(key) is not None
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.json")  # type: ignore[arg-type]
-
     def _load_from_disk(self, key: str) -> Optional[SimulationStats]:
-        if not self.cache_dir:
+        if self._disk is None:
             return None
-        path = self._path(key)
+        raw = self._disk.get(key)
+        if raw is None:
+            return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
             return None
         if payload.get("schema") != SCHEMA_VERSION or "stats" not in payload:
             return None
@@ -155,11 +203,12 @@ class ResultStore:
         return None
 
     def put(self, key: str, stats: SimulationStats, metadata: Optional[dict] = None) -> None:
-        """Record a result in both tiers (the disk write is atomic)."""
+        """Record a result in both tiers (the disk append is atomic and
+        implicitly releases any claim held on the key)."""
         self._memory[key] = stats
         with self._counter_lock:
             self.stores += 1
-        if not self.cache_dir:
+        if self._disk is None:
             return
         payload = {
             "schema": SCHEMA_VERSION,
@@ -167,19 +216,47 @@ class ResultStore:
             "metadata": metadata or {},
             "stats": stats.to_dict(),
         }
-        fd, tmp_path = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, default=str)
-            os.replace(tmp_path, self._path(key))
-        except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        self._disk.put(key, json.dumps(payload, default=str).encode("utf-8"))
 
     # ------------------------------------------------------------------
+    # fleet claims (cross-replica single-flight)
+    # ------------------------------------------------------------------
+
+    def supports_claims(self) -> bool:
+        """Store-level claims need a disk tier shared between replicas."""
+        return self._disk is not None
+
+    def claim_point(
+        self, key: str, ttl: float = DEFAULT_CLAIM_TTL
+    ) -> Tuple[bool, Optional[str]]:
+        """Claim ``key`` for this store's owner; ``(ok, holder)``."""
+        if self._disk is None:
+            return True, self.owner
+        return self._disk.claim(key, self.owner, ttl)
+
+    def release_point(self, key: str) -> None:
+        """Drop this owner's claim on ``key`` (storing a result also does)."""
+        if self._disk is not None:
+            self._disk.release(key, self.owner)
+
+    def point_claim(self, key: str) -> Optional[Tuple[str, float]]:
+        """The (owner, deadline) currently claiming ``key``, if any."""
+        if self._disk is None:
+            return None
+        return self._disk.claim_holder(key)
+
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Force-compact the disk tier (drops dead/expired records)."""
+        if self._disk is not None:
+            self._disk.compact()
+
+    def storage_stats(self) -> Dict[str, int]:
+        """Segment-log health counters for /metrics (empty when memory-only)."""
+        if self._disk is None:
+            return {}
+        return self._disk.stats()
 
     def counters(self) -> Dict[str, int]:
         """Hit/miss accounting for progress reports and tests."""

@@ -59,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-trace-replay", action="store_true",
                        help="run every point with a live frontend instead of "
                             "the trace-once/replay-many engine")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="run N service replicas in this process on "
+                            "consecutive ports, sharing the cache dir "
+                            "(default: 1)")
+    serve.add_argument("--replica-id", default=None,
+                       help="stable replica identity for leases/metrics "
+                            "(default: host-pid-random)")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       help="job lease lifetime in seconds; a replica dead "
+                            "longer than this has its jobs stolen "
+                            "(default: 15)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress progress lines on stderr")
 
@@ -96,7 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
     watch = client_parser("watch", "poll a job until it finishes")
     watch.add_argument("job_id")
     watch.add_argument("--interval", type=float, default=0.5,
-                       help="poll interval in seconds (default: 0.5)")
+                       help="initial poll interval in seconds (default: 0.5); "
+                            "backs off with jitter while the job is idle")
+    watch.add_argument("--max-interval", type=float, default=None,
+                       help="poll interval ceiling for the idle backoff "
+                            "(default: max(interval, 8.0))")
     watch.add_argument("--timeout", type=float, default=None,
                        help="give up after this many seconds")
 
@@ -114,20 +129,54 @@ def _run_serve(args: argparse.Namespace) -> int:
     def progress(message: str) -> None:
         print(message, file=sys.stderr, flush=True)
 
-    app = ServiceApp(
-        cache_dir=args.cache_dir,
-        jobs=args.jobs,
-        job_concurrency=args.job_concurrency,
-        use_trace_replay=not args.no_trace_replay,
-        progress=None if args.quiet else progress,
-    )
-    try:
-        server = build_server(app, host=args.host, port=args.port)
-    except OSError as error:
-        print(f"error: cannot bind {args.host}:{args.port}: {error}",
-              file=sys.stderr)
+    if args.replicas < 1:
+        print("error: --replicas must be at least 1", file=sys.stderr)
         return 2
-    app.start()
+    if args.replicas > 1 and not args.cache_dir:
+        print("error: --replicas needs --cache-dir (replicas coordinate "
+              "through the shared cache tree)", file=sys.stderr)
+        return 2
+
+    lease_kwargs = {}
+    if args.lease_ttl is not None:
+        lease_kwargs["lease_ttl"] = args.lease_ttl
+
+    pairs = []  # (app, server) per replica
+    for index in range(args.replicas):
+        replica_id = args.replica_id
+        if replica_id is not None and args.replicas > 1:
+            replica_id = f"{replica_id}-{index}"
+        app = ServiceApp(
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            job_concurrency=args.job_concurrency,
+            use_trace_replay=not args.no_trace_replay,
+            progress=None if args.quiet else progress,
+            replica_id=replica_id,
+            **lease_kwargs,
+        )
+        port = args.port + index if args.port else 0
+        try:
+            server = build_server(app, host=args.host, port=port)
+        except OSError as error:
+            print(f"error: cannot bind {args.host}:{port}: {error}",
+                  file=sys.stderr)
+            for _, started in pairs:
+                started.server_close()
+            return 2
+        pairs.append((app, server))
+
+    for app, server in pairs:
+        app.start()
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        print(
+            f"repro.service {__version__} serving on http://{host}:{port} "
+            f"(cache: {args.cache_dir or 'memory only'}, jobs={args.jobs}, "
+            f"job-concurrency={args.job_concurrency}, "
+            f"replica={app.replica_id})",
+            file=sys.stderr, flush=True,
+        )
 
     stop = threading.Event()
 
@@ -137,21 +186,14 @@ def _run_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGTERM, request_shutdown)
     signal.signal(signal.SIGINT, request_shutdown)
 
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    host, port = server.server_address[:2]
-    print(
-        f"repro.service {__version__} serving on http://{host}:{port} "
-        f"(cache: {args.cache_dir or 'memory only'}, jobs={args.jobs}, "
-        f"job-concurrency={args.job_concurrency})",
-        file=sys.stderr, flush=True,
-    )
     while not stop.is_set():
         stop.wait(0.5)
     print("shutdown: draining running jobs...", file=sys.stderr, flush=True)
-    server.shutdown()
-    server.server_close()
-    app.stop(drain=True)
+    for _, server in pairs:
+        server.shutdown()
+        server.server_close()
+    for app, _ in pairs:
+        app.stop(drain=True)
     print("shutdown: complete", file=sys.stderr, flush=True)
     return 0
 
@@ -171,9 +213,10 @@ def _print_job_line(job: dict) -> None:
 
 
 def _watch(client: ServiceClient, job_id: str, interval: float = 0.5,
-           timeout: Optional[float] = None) -> int:
+           timeout: Optional[float] = None,
+           max_interval: Optional[float] = None) -> int:
     job = client.watch(job_id, interval=interval, timeout=timeout,
-                       on_update=_print_job_line)
+                       max_interval=max_interval, on_update=_print_job_line)
     if job.get("state") == COMPLETED:
         return 0
     error = job.get("error") or {}
@@ -231,7 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 0
         if args.command == "watch":
             return _watch(client, args.job_id, interval=args.interval,
-                          timeout=args.timeout)
+                          timeout=args.timeout,
+                          max_interval=args.max_interval)
         if args.command == "metrics":
             print(json.dumps(client.metrics(), indent=2, sort_keys=True))
             return 0

@@ -14,7 +14,18 @@ Deduplication happens at two levels, both inherited from the engine:
   (a re-submitted figure is ~instant, ``executed == 0``);
 * **in-flight points** submitted concurrently by different jobs are
   single-flighted — one job simulates, the others wait on the shared
-  result and report the points as ``shared_inflight``.
+  result and report the points as ``shared_inflight``;
+* **points claimed by another replica** sharing the cache tree are
+  awaited instead of re-executed (``remote_inflight``; see
+  :mod:`repro.service.fleet` and the engine's store-level claims).
+
+With N replicas over one ``--cache-dir`` the app also runs a fleet
+control loop: jobs are executed under an expiring **lease** (at most
+one replica runs a job; a crashed replica's jobs are stolen and re-run,
+completed points being cache hits), a **heartbeat** thread renews
+leases and publishes this replica's counters, and a **poller** thread
+adopts jobs submitted to other replicas, refreshes job records this
+replica is not running, and steals expired leases.
 """
 
 from __future__ import annotations
@@ -30,6 +41,12 @@ from repro.experiments.common import SimulationCache
 from repro.experiments.scheduler import SweepEngine, dedupe_points
 from repro.experiments.store import ResultStore
 from repro.service import spec as spec_mod
+from repro.service.fleet import (
+    DEFAULT_LEASE_TTL,
+    LeaseManager,
+    ReplicaRegistry,
+    default_replica_id,
+)
 from repro.service.jobs import (
     COMPLETED,
     FAILED,
@@ -67,6 +84,10 @@ class ServiceApp:
         job_concurrency: int = 1,
         use_trace_replay: bool = True,
         progress: Optional[ProgressCallback] = None,
+        replica_id: Optional[str] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        fleet_poll_interval: float = 1.0,
+        claim_ttl: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -74,15 +95,24 @@ class ServiceApp:
             raise ValueError("job_concurrency must be at least 1")
         self.cache_dir = cache_dir
         self.progress = progress
-        self.store = ResultStore(cache_dir=cache_dir)
+        self.replica_id = replica_id or default_replica_id()
+        self.lease_ttl = lease_ttl
+        self.fleet_poll_interval = fleet_poll_interval
+        self.store = ResultStore(cache_dir=cache_dir, owner=self.replica_id)
         self.trace_store = TraceStore(cache_dir)
+        engine_kwargs = {}
+        if claim_ttl is not None:
+            engine_kwargs["claim_ttl"] = claim_ttl
         self.engine = SweepEngine(
             store=self.store,
             jobs=jobs,
             use_trace_replay=use_trace_replay,
             trace_store=self.trace_store,
+            **engine_kwargs,
         )
         self.job_store = JobStore(cache_dir)
+        self.leases = LeaseManager(cache_dir, owner=self.replica_id, ttl=lease_ttl)
+        self.replicas = ReplicaRegistry(cache_dir, replica_id=self.replica_id)
         self.queue = JobQueue()
         self.job_concurrency = job_concurrency
         self.started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
@@ -100,8 +130,16 @@ class ServiceApp:
             "executed": 0,
             "from_cache": 0,
             "shared_inflight": 0,
+            "remote_inflight": 0,
+            "remote_reclaimed": 0,
         }
         self.resumed_jobs = 0
+        self.adopted_jobs = 0
+        self.stolen_jobs = 0
+        #: Job ids this replica is executing right now; the fleet poller
+        #: never refreshes or steals a job its own executor owns.
+        self._running_ids: set = set()
+        self._running_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -117,9 +155,15 @@ class ServiceApp:
         for job in self.job_store.load_all():
             resume = job.state in (QUEUED, RUNNING)
             if job.state == RUNNING:
-                # The previous process died mid-job; run it again from
-                # the top — completed points are all cache hits, so the
-                # rerun only pays for what was actually lost.
+                holder = self.leases.holder(job.id)
+                if holder is not None and holder[0] != self.replica_id:
+                    # Another replica of this cache tree is live and
+                    # mid-job; register for status queries, don't touch.
+                    self.queue.add(job, enqueue=False)
+                    continue
+                # The owning process died mid-job (no live lease); run it
+                # again from the top — completed points are all cache
+                # hits, so the rerun only pays for what was actually lost.
                 job.state = QUEUED
                 job.started_at = None
                 self.job_store.save(job)
@@ -140,6 +184,15 @@ class ServiceApp:
             )
             thread.start()
             self._threads.append(thread)
+        if self.cache_dir:
+            for name, target in (
+                ("fleet-heartbeat", self._heartbeat_loop),
+                ("fleet-poller", self._fleet_poll_loop),
+            ):
+                thread = threading.Thread(target=target, name=name, daemon=True)
+                thread.start()
+                self._threads.append(thread)
+            self.replicas.publish(self._snapshot())
 
     def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the executors; with ``drain`` the running jobs finish first.
@@ -152,6 +205,9 @@ class ServiceApp:
             for thread in self._threads:
                 thread.join(timeout=timeout)
         self._threads = []
+        # A final snapshot so fleet metrics keep this replica's finished
+        # work after it drains (stale snapshots stay in the totals).
+        self.replicas.publish(self._snapshot())
         self.engine.close()
 
     # ------------------------------------------------------------------
@@ -219,7 +275,92 @@ class ServiceApp:
                 continue
             if job.terminal:  # defensively skip stale queue entries
                 continue
-            self._run_job(job)
+            if not self.leases.acquire(job.id):
+                # Another replica is running this job; our poller will
+                # refresh its record (and steal it if that replica dies).
+                continue
+            try:
+                # Read-through under the lease: another replica may have
+                # finished (or re-shaped) the job since we enqueued it.
+                latest = self.job_store.load(job.id)
+                if latest is not None:
+                    job.update_from(latest)
+                if job.terminal:
+                    continue
+                with self._running_lock:
+                    self._running_ids.add(job.id)
+                try:
+                    self._run_job(job)
+                finally:
+                    with self._running_lock:
+                        self._running_ids.discard(job.id)
+            finally:
+                self.leases.release(job.id)
+
+    # ------------------------------------------------------------------
+    # fleet control loops
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self) -> None:
+        """Renew held leases and publish this replica's counters."""
+        interval = max(0.05, min(self.lease_ttl / 3.0, 2.0))
+        while not self._stop.wait(interval):
+            self.leases.renew_held()
+            self.replicas.publish(self._snapshot())
+
+    def _fleet_poll_loop(self) -> None:
+        while not self._stop.wait(self.fleet_poll_interval):
+            try:
+                self._fleet_poll_once()
+            except Exception as error:  # noqa: BLE001 - never kill the loop
+                self._say(f"fleet poll error: {type(error).__name__}: {error}")
+
+    def _fleet_poll_once(self) -> None:
+        """Adopt, refresh and steal jobs from the shared job store."""
+        with self._running_lock:
+            running = set(self._running_ids)
+        for disk_job in self.job_store.load_all():
+            if disk_job.id in running:
+                continue  # our executor's copy is authoritative
+            known = self.queue.get(disk_job.id)
+            if known is None:
+                # Submitted to another replica: adopt it.  Queued jobs
+                # enter our queue too — the lease decides who runs them.
+                self.queue.add(disk_job, enqueue=disk_job.state == QUEUED)
+                self.adopted_jobs += 1
+                if disk_job.state == QUEUED:
+                    self._say(f"fleet: adopted queued job {disk_job.id}")
+                known = disk_job
+            elif disk_job.state != known.state or (
+                disk_job.points != known.points
+            ):
+                known.update_from(disk_job)
+            if known.state == RUNNING and self.leases.holder(known.id) is None:
+                self._steal(known)
+
+    def _steal(self, job: Job) -> None:
+        """Take over a job whose owner's lease expired (crashed replica).
+
+        Mirrors the restart-resume semantics: the job is reset to queued
+        and re-run from the top; points the dead replica completed are
+        cache hits, so only the genuinely lost work is paid again.
+        """
+        if not self.leases.acquire(job.id):
+            return  # someone else (or a revived owner) beat us to it
+        try:
+            latest = self.job_store.load(job.id)
+            if latest is not None:
+                job.update_from(latest)
+            if job.state != RUNNING:
+                return
+            job.state = QUEUED
+            job.started_at = None
+            self.job_store.save(job)
+            self.queue.add(job, enqueue=True)
+            self.stolen_jobs += 1
+            self._say(f"fleet: stole job {job.id} (owner lease expired)")
+        finally:
+            self.leases.release(job.id)
 
     def _run_job(self, job: Job) -> None:
         job.mark_running()
@@ -233,8 +374,16 @@ class ServiceApp:
             job.points["requested"] = len(points)
             job.points["unique"] = len(dedupe_points(points))
 
+            last_save = [time.monotonic()]
+
             def on_point(_point) -> None:
                 job.points["completed"] += 1
+                # Persist progress (throttled) so other replicas' watch
+                # requests see this job advance, not just start/finish.
+                now = time.monotonic()
+                if now - last_save[0] >= 0.5:
+                    last_save[0] = now
+                    self.job_store.save(job)
 
             counters = self.engine.execute(
                 points, progress=self.progress, on_point=on_point
@@ -252,10 +401,17 @@ class ServiceApp:
                 self._point_totals["executed"] += counters["executed"]
                 self._point_totals["from_cache"] += counters["cached"]
                 self._point_totals["shared_inflight"] += counters["shared_inflight"]
+                self._point_totals["remote_inflight"] += counters.get(
+                    "remote_inflight", 0
+                )
+                self._point_totals["remote_reclaimed"] += counters.get(
+                    "remote_reclaimed", 0
+                )
             self._say(
                 f"job {job.id}: completed ({counters['executed']} executed, "
                 f"{counters['cached']} cached, "
-                f"{counters['shared_inflight']} shared in-flight)"
+                f"{counters['shared_inflight']} shared in-flight, "
+                f"{counters.get('remote_inflight', 0)} remote in-flight)"
             )
         except ApiError as error:
             job.mark_failed(error.code, error.message)
@@ -294,6 +450,20 @@ class ServiceApp:
             "jobs": self.queue.by_state(),
         }
 
+    def _snapshot(self) -> dict:
+        """This replica's publishable counter snapshot (see fleet)."""
+        uptime = self.uptime_seconds()
+        with self._points_lock:
+            points = dict(self._point_totals)
+        points["per_minute"] = (
+            round(points["completed"] * 60.0 / uptime, 2) if uptime > 0 else 0.0
+        )
+        return {
+            "points": points,
+            "jobs": self.queue.by_state(),
+            "uptime_seconds": uptime,
+        }
+
     def metrics(self) -> dict:
         uptime = self.uptime_seconds()
         with self._points_lock:
@@ -301,6 +471,9 @@ class ServiceApp:
         points["per_minute"] = (
             round(points["completed"] * 60.0 / uptime, 2) if uptime > 0 else 0.0
         )
+        # Publish before aggregating so the fleet section always includes
+        # this replica's own up-to-date counters.
+        self.replicas.publish(self._snapshot())
         result_cache = self.store.counters()
         trace_cache = self.trace_store.counters()
         engine_totals = self.engine.totals()
@@ -326,4 +499,19 @@ class ServiceApp:
                 "persistent": bool(self.job_store.job_dir),
                 "quarantined": self.job_store.quarantined,
             },
+            "storage": {
+                "results": self.store.storage_stats(),
+                "traces": self.trace_store.storage_stats(),
+            },
+            "replica": {
+                "id": self.replica_id,
+                "lease_ttl": self.lease_ttl,
+                "held_leases": len(self.leases.held()),
+                "resumed_jobs": self.resumed_jobs,
+                "adopted_jobs": self.adopted_jobs,
+                "stolen_jobs": self.stolen_jobs,
+            },
+            "fleet": self.replicas.fleet_metrics(
+                fresh_within=max(self.lease_ttl, 3.0)
+            ),
         }

@@ -9,6 +9,7 @@ what the service said.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -110,28 +111,49 @@ class ServiceClient:
         interval: float = 0.5,
         timeout: Optional[float] = None,
         on_update=None,
+        max_interval: Optional[float] = None,
+        backoff: float = 1.6,
+        jitter: float = 0.2,
+        _sleep=time.sleep,
+        _clock=time.time,
     ) -> dict:
         """Poll a job until it reaches a terminal state.
 
         ``on_update`` (if given) receives every observed job record —
         the CLI uses it to print progress lines.  Raises
         :class:`ServiceError` when ``timeout`` elapses first.
+
+        Polling starts at ``interval`` and, while the job makes no
+        observable progress (same state, same completed-point count),
+        backs off geometrically by ``backoff`` up to ``max_interval``
+        (default: ``max(interval, 8.0)``) with ±``jitter`` randomization
+        so many watchers of one queued job don't poll in lockstep.  Any
+        progress resets the delay to ``interval``.  ``_sleep``/``_clock``
+        are injectable for tests.
         """
-        deadline = time.time() + timeout if timeout is not None else None
+        if max_interval is None:
+            max_interval = max(interval, 8.0)
+        deadline = _clock() + timeout if timeout is not None else None
+        delay = interval
         last_completed = -1
+        last_state: Optional[str] = None
         while True:
             job = self.status(job_id)
+            state = job.get("state")
             completed = int(job.get("points", {}).get("completed", 0))
+            progressed = completed != last_completed or state != last_state
             if on_update is not None and (
-                completed != last_completed or job.get("state") in TERMINAL_STATES
+                completed != last_completed or state in TERMINAL_STATES
             ):
                 on_update(job)
-                last_completed = completed
-            if job.get("state") in TERMINAL_STATES:
+            last_completed = completed
+            last_state = state
+            if state in TERMINAL_STATES:
                 return job
-            if deadline is not None and time.time() > deadline:
+            if deadline is not None and _clock() > deadline:
                 raise ServiceError(
                     f"timed out after {timeout:.0f}s waiting for job {job_id}",
                     code="watch_timeout",
                 )
-            time.sleep(interval)
+            delay = interval if progressed else min(delay * backoff, max_interval)
+            _sleep(delay * (1.0 + jitter * (2.0 * random.random() - 1.0)))

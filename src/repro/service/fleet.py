@@ -1,0 +1,308 @@
+"""Fleet coordination: job leases, heartbeats and replica metrics.
+
+Several ``repro.service`` replicas may share one ``--cache-dir``.  The
+result/trace stores already make that safe for *data* (sharded segment
+logs, cross-replica claims); this module adds the *control* plane:
+
+* :class:`LeaseManager` — at most one replica runs a given job.  A
+  lease is a tiny JSON file ``jobs/leases/<job_id>.json`` holding
+  ``{owner, deadline}``; all lease operations happen under one global
+  ``flock`` so acquire/steal decisions are atomic across processes.
+  Live replicas renew their leases from a heartbeat thread; a replica
+  that dies simply stops renewing, its leases expire, and any other
+  replica may **steal** the job — reset it to queued and run it again.
+  Completed points are cache hits, so the re-run only pays for what the
+  dead replica never finished (the same semantics as a single-process
+  restart).
+* :class:`ReplicaRegistry` — each replica periodically publishes an
+  atomic snapshot ``replicas/<replica_id>.json`` of its point/engine
+  counters.  :meth:`ReplicaRegistry.fleet_metrics` aggregates every
+  snapshot into the fleet-wide section of ``/metrics`` (total points
+  per minute, per-replica activity), which is how a two-replica CI run
+  can assert that no simulation executed twice anywhere in the fleet.
+
+Both classes degrade to no-ops without a cache dir (a memory-only
+service is necessarily a fleet of one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import threading
+import uuid
+from time import time as _wall_clock
+from typing import Callable, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - POSIX-only; fallback keeps imports safe
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: Subdirectory of the job dir holding lease files.
+LEASE_SUBDIR = "leases"
+
+#: Subdirectory of the cache dir holding replica snapshots.
+REPLICA_SUBDIR = "replicas"
+
+#: Default lease lifetime; heartbeats renew at a third of this, so a
+#: replica survives two missed beats before its jobs become stealable.
+DEFAULT_LEASE_TTL = 15.0
+
+
+def default_replica_id() -> str:
+    """A replica identity unique across hosts, processes and restarts."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:4]}"
+
+
+class _GlobalLock:
+    """Exclusive cross-process flock on one coordination directory."""
+
+    def __init__(self, directory: str) -> None:
+        self._path = os.path.join(directory, ".lock")
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_GlobalLock":
+        os.makedirs(os.path.dirname(self._path), exist_ok=True)
+        self._fd = os.open(self._path, os.O_RDWR | os.O_CREAT, 0o644)
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fd is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+def _write_atomic(directory: str, name: str, payload: dict) -> None:
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, os.path.join(directory, name))
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: str) -> Optional[dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+class LeaseManager:
+    """Leased, heartbeat-renewed ownership of jobs across replicas."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str],
+        owner: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        clock: Callable[[], float] = _wall_clock,
+    ) -> None:
+        from repro.service.jobs import JOB_SUBDIR  # avoid an import cycle
+
+        self.owner = owner
+        self.ttl = ttl
+        self.clock = clock
+        self.lease_dir = (
+            os.path.join(cache_dir, JOB_SUBDIR, LEASE_SUBDIR) if cache_dir else None
+        )
+        self._held: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        if self.lease_dir:
+            os.makedirs(self.lease_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, job_id: str) -> str:
+        return os.path.join(self.lease_dir, f"{job_id}.json")  # type: ignore[arg-type]
+
+    def acquire(self, job_id: str) -> bool:
+        """Take (or renew) the lease on ``job_id``; ``False`` if another
+        replica holds an unexpired lease."""
+        if not self.lease_dir:
+            return True  # fleet of one
+        with _GlobalLock(self.lease_dir):
+            current = _read_json(self._path(job_id))
+            if current is not None and current.get("owner") != self.owner:
+                deadline = current.get("deadline")
+                if isinstance(deadline, (int, float)) and deadline > self.clock():
+                    return False
+            deadline = self.clock() + self.ttl
+            _write_atomic(
+                self.lease_dir,
+                f"{job_id}.json",
+                {"job_id": job_id, "owner": self.owner, "deadline": deadline},
+            )
+        with self._lock:
+            self._held[job_id] = deadline
+        return True
+
+    def release(self, job_id: str) -> None:
+        """Drop this replica's lease on ``job_id`` (no-op when not held)."""
+        with self._lock:
+            self._held.pop(job_id, None)
+        if not self.lease_dir:
+            return
+        with _GlobalLock(self.lease_dir):
+            current = _read_json(self._path(job_id))
+            if current is not None and current.get("owner") == self.owner:
+                try:
+                    os.unlink(self._path(job_id))
+                except OSError:
+                    pass
+
+    def renew_held(self) -> None:
+        """Heartbeat: push every held lease's deadline forward."""
+        with self._lock:
+            held = list(self._held)
+        if not held or not self.lease_dir:
+            return
+        with _GlobalLock(self.lease_dir):
+            for job_id in held:
+                current = _read_json(self._path(job_id))
+                if current is None or current.get("owner") != self.owner:
+                    # Lost (expired and stolen) while we weren't looking;
+                    # never overwrite the thief's lease.
+                    with self._lock:
+                        self._held.pop(job_id, None)
+                    continue
+                deadline = self.clock() + self.ttl
+                _write_atomic(
+                    self.lease_dir,
+                    f"{job_id}.json",
+                    {"job_id": job_id, "owner": self.owner, "deadline": deadline},
+                )
+                with self._lock:
+                    self._held[job_id] = deadline
+
+    def holder(self, job_id: str) -> Optional[Tuple[str, float]]:
+        """The (owner, deadline) of an unexpired lease, else ``None``."""
+        if not self.lease_dir:
+            return None
+        current = _read_json(self._path(job_id))
+        if current is None:
+            return None
+        owner = current.get("owner")
+        deadline = current.get("deadline")
+        if not isinstance(owner, str) or not isinstance(deadline, (int, float)):
+            return None
+        if deadline <= self.clock():
+            return None
+        return owner, float(deadline)
+
+    def held(self) -> List[str]:
+        with self._lock:
+            return list(self._held)
+
+
+class ReplicaRegistry:
+    """Published per-replica counter snapshots and their aggregation."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str],
+        replica_id: str,
+        clock: Callable[[], float] = _wall_clock,
+    ) -> None:
+        self.replica_id = replica_id
+        self.clock = clock
+        self.replica_dir = (
+            os.path.join(cache_dir, REPLICA_SUBDIR) if cache_dir else None
+        )
+        if self.replica_dir:
+            os.makedirs(self.replica_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def publish(self, snapshot: dict) -> None:
+        """Atomically publish this replica's counter snapshot."""
+        if not self.replica_dir:
+            return
+        payload = dict(snapshot)
+        payload["replica_id"] = self.replica_id
+        payload["updated_at"] = self.clock()
+        try:
+            _write_atomic(self.replica_dir, f"{self.replica_id}.json", payload)
+        except OSError:
+            pass  # metrics publishing must never take a replica down
+
+    def snapshots(self) -> List[dict]:
+        """Every replica's latest snapshot (unreadable files skipped)."""
+        if not self.replica_dir:
+            return []
+        try:
+            names = sorted(os.listdir(self.replica_dir))
+        except OSError:
+            return []
+        result = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            payload = _read_json(os.path.join(self.replica_dir, name))
+            if payload is not None and isinstance(payload.get("replica_id"), str):
+                result.append(payload)
+        return result
+
+    def fleet_metrics(self, fresh_within: float) -> dict:
+        """Aggregate every published snapshot into fleet-wide totals.
+
+        Stale snapshots (older than ``fresh_within``) still count toward
+        the monotonic totals — a drained replica's completed work does
+        not vanish from the fleet's history — but not toward
+        ``active_replicas`` or the aggregate points/min rate.
+        """
+        now = self.clock()
+        totals = {
+            "requested": 0, "unique": 0, "completed": 0, "executed": 0,
+            "from_cache": 0, "shared_inflight": 0, "remote_inflight": 0,
+            "remote_reclaimed": 0,
+        }
+        replicas = []
+        active = 0
+        per_minute = 0.0
+        for snapshot in self.snapshots():
+            updated_at = snapshot.get("updated_at")
+            age = (
+                round(now - updated_at, 1)
+                if isinstance(updated_at, (int, float)) else None
+            )
+            is_active = age is not None and age <= fresh_within
+            points = snapshot.get("points") or {}
+            for field in totals:
+                value = points.get(field)
+                if isinstance(value, (int, float)):
+                    totals[field] += int(value)
+            if is_active:
+                active += 1
+                rate = points.get("per_minute")
+                if isinstance(rate, (int, float)):
+                    per_minute += rate
+            replicas.append({
+                "id": snapshot["replica_id"],
+                "active": is_active,
+                "age_seconds": age,
+                "points": {
+                    field: int(points.get(field, 0) or 0) for field in totals
+                },
+            })
+        return {
+            "replicas": replicas,
+            "active_replicas": active,
+            "known_replicas": len(replicas),
+            "points": totals,
+            "per_minute": round(per_minute, 2),
+        }

@@ -104,6 +104,27 @@ class Job:
         self.finished_at = _now()
         self.state = FAILED
 
+    def update_from(self, other: "Job") -> None:
+        """Adopt another replica's persisted view of this same job.
+
+        The in-memory registry hands out `Job` object references, so a
+        cross-replica refresh must mutate in place rather than swap the
+        object.  Only ever called for jobs this replica is *not*
+        currently running (the runner's own copy is authoritative).
+        """
+        if other.id != self.id:
+            raise ValueError("refusing to update a job from a different id")
+        self.spec = other.spec
+        self.priority = other.priority
+        self.state = other.state
+        self.submitted_at = other.submitted_at
+        self.started_at = other.started_at
+        self.finished_at = other.finished_at
+        self.points = dict(other.points)
+        self.counters = other.counters
+        self.error = other.error
+        self.result = other.result
+
     # ------------------------------------------------------------------
 
     def to_dict(self, include_result: bool = False) -> dict:
@@ -196,6 +217,19 @@ class JobStore:
             except OSError:
                 pass
             raise
+
+    def load(self, job_id: str) -> Optional[Job]:
+        """Read one job record back from disk; ``None`` when missing or
+        unreadable (transient read races are not quarantined)."""
+        if not self.job_dir:
+            return None
+        try:
+            with open(self._path(job_id), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            job = Job.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return job if job.id == job_id else None
 
     def _quarantine(self, path: str) -> None:
         """Move an unreadable job file aside so it is never retried."""

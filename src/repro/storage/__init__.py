@@ -1,0 +1,13 @@
+"""Traffic-grade storage: sharded append-only segment logs.
+
+This package is the persistence layer shared by the result store, the
+trace store and the service fleet: :mod:`repro.storage.segment` frames
+individual records, :mod:`repro.storage.sharded` provides the
+sharded/compacting :class:`~repro.storage.sharded.ShardedStore`, and
+:mod:`repro.storage.migrate` imports legacy file-per-entry cache trees.
+"""
+
+from repro.storage.migrate import migrate_legacy_files
+from repro.storage.sharded import ShardedStore
+
+__all__ = ["ShardedStore", "migrate_legacy_files"]

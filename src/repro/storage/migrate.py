@@ -1,0 +1,93 @@
+"""One-time migration of legacy file-per-entry cache trees.
+
+Before the segment-log storage layer, every result lived as
+``<cache_dir>/<key>.json`` and every trace as
+``<cache_dir>/traces/<key>.json.gz``.  Opening one of those trees under
+the new stores transparently imports every legacy file **byte for
+byte** into the sharded store (so previously cached results replay
+identically) and then removes it; files that fail validation are moved
+into a ``legacy-quarantine/`` subdirectory instead of being deleted,
+mirroring the job store's quarantine semantics.
+
+The whole sweep runs under an exclusive ``.migrate.lock`` flock so that
+several replicas opening one shared cache tree at the same moment
+import each file exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+try:  # pragma: no cover - POSIX-only; fallback keeps imports safe
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+#: Where invalid legacy files are parked instead of being deleted.
+QUARANTINE_SUBDIR = "legacy-quarantine"
+
+
+def migrate_legacy_files(
+    legacy_dir: str,
+    suffix: str,
+    put: Callable[[str, bytes], None],
+    validate: Callable[[str, bytes], bool],
+) -> Dict[str, int]:
+    """Import every ``<key><suffix>`` file in ``legacy_dir`` via ``put``.
+
+    ``validate(key, raw)`` decides whether the raw bytes are a sane
+    legacy entry; valid files are stored verbatim under their stem and
+    deleted, invalid ones are moved to quarantine.  Returns counts
+    ``{"migrated": n, "quarantined": m}``; a missing directory or one
+    with no matching files is a cheap no-op.
+    """
+    counts = {"migrated": 0, "quarantined": 0}
+    try:
+        names = [n for n in os.listdir(legacy_dir) if n.endswith(suffix)]
+    except OSError:
+        return counts
+    if not names:
+        return counts
+
+    lock_path = os.path.join(legacy_dir, ".migrate.lock")
+    fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        # Re-scan under the lock: a concurrent replica may have migrated
+        # (and removed) some or all of the files while we waited.
+        try:
+            names = sorted(n for n in os.listdir(legacy_dir) if n.endswith(suffix))
+        except OSError:
+            return counts
+        for name in names:
+            key = name[: -len(suffix)]
+            if not key:
+                continue
+            path = os.path.join(legacy_dir, name)
+            try:
+                with open(path, "rb") as handle:
+                    raw = handle.read()
+            except OSError:
+                continue
+            if validate(key, raw):
+                put(key, raw)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                counts["migrated"] += 1
+            else:
+                quarantine = os.path.join(legacy_dir, QUARANTINE_SUBDIR)
+                os.makedirs(quarantine, exist_ok=True)
+                try:
+                    os.replace(path, os.path.join(quarantine, name))
+                    counts["quarantined"] += 1
+                except OSError:
+                    pass
+    finally:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+    return counts

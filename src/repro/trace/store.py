@@ -2,34 +2,57 @@
 
 Traces live in a ``traces/`` subdirectory of the experiment cache
 directory, so one ``--cache-dir`` serves both the
-:class:`~repro.experiments.store.ResultStore` (result JSON files in the
-directory root) and the trace store without any filename collision, and
-a trace file can never be mistaken for a result payload (different
-location *and* a different schema envelope).  Files are gzip-compressed
-JSON, written atomically; unreadable, corrupt or schema-mismatching
-files are treated as cache misses.
+:class:`~repro.experiments.store.ResultStore` (sharded segments under
+``results/``) and the trace store without any collision.  The disk tier
+is a size-bounded :class:`~repro.storage.sharded.ShardedStore`: each
+trace payload is gzip-compressed JSON appended to a segment log, and
+when the store outgrows ``max_bytes`` the oldest traces are evicted at
+compaction — traces are pure derived data, so evicting one only costs a
+re-decode.  Unreadable, corrupt or schema-mismatching payloads are
+treated as cache misses.  Legacy file-per-trace trees
+(``traces/<key>.json.gz``) are imported byte for byte on first open.
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
 import os
-import tempfile
 import threading
 from typing import Dict, Optional
 
 from repro.errors import SimulationError
+from repro.storage import ShardedStore, migrate_legacy_files
 from repro.trace.schema import DecodedTrace
 
 #: Subdirectory of the cache dir reserved for traces.
 TRACE_SUBDIR = "traces"
 
+#: Default size bound for the on-disk trace tier.  Decoded traces are
+#: bulky relative to results; bounding the store keeps a long-lived
+#: cache tree from growing without limit (oldest traces are evicted
+#: first and simply get re-decoded on next use).
+DEFAULT_TRACE_MAX_BYTES = 1 << 30
+
+
+def _valid_trace_blob(key: str, raw: bytes) -> bool:
+    """Whether raw bytes are a plausible gzip'd trace payload for ``key``."""
+    try:
+        payload = json.loads(gzip.decompress(raw).decode("utf-8"))
+    except (OSError, ValueError, EOFError, UnicodeDecodeError):
+        return False
+    return isinstance(payload, dict) and payload.get("key") == key
+
 
 class TraceStore:
     """Two-tier (memory + optional disk) store of decoded traces."""
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_bytes: Optional[int] = DEFAULT_TRACE_MAX_BYTES,
+    ) -> None:
         self.cache_dir = cache_dir
         self.trace_dir = os.path.join(cache_dir, TRACE_SUBDIR) if cache_dir else None
         self._memory: Dict[str, DecodedTrace] = {}
@@ -40,24 +63,29 @@ class TraceStore:
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self._disk: Optional[ShardedStore] = None
         if self.trace_dir:
             os.makedirs(self.trace_dir, exist_ok=True)
+            self._disk = ShardedStore(self.trace_dir, max_bytes=max_bytes)
+            # Import any pre-segment-log file-per-trace tree, byte for byte.
+            migrate_legacy_files(
+                self.trace_dir, ".json.gz", self._disk.put, _valid_trace_blob
+            )
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._memory)
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self.trace_dir, f"{key}.json.gz")  # type: ignore[arg-type]
-
     def _load_from_disk(self, key: str) -> Optional[DecodedTrace]:
-        if not self.trace_dir:
+        if self._disk is None:
+            return None
+        raw = self._disk.get(key)
+        if raw is None:
             return None
         try:
-            with gzip.open(self._path(key), "rt", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError, EOFError):
+            payload = json.loads(gzip.decompress(raw).decode("utf-8"))
+        except (OSError, ValueError, EOFError, UnicodeDecodeError):
             return None
         try:
             trace = DecodedTrace.from_payload(payload)
@@ -87,26 +115,30 @@ class TraceStore:
         return None
 
     def put(self, trace: DecodedTrace) -> None:
-        """Record a trace in both tiers (the disk write is atomic)."""
+        """Record a trace in both tiers (the disk append is atomic)."""
         self._memory[trace.key] = trace
         with self._counter_lock:
             self.stores += 1
-        if not self.trace_dir:
+        if self._disk is None:
             return
-        fd, tmp_path = tempfile.mkstemp(dir=self.trace_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as raw:
-                with gzip.open(raw, "wt", encoding="utf-8") as handle:
-                    json.dump(trace.to_payload(), handle)
-            os.replace(tmp_path, self._path(trace.key))
-        except OSError:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        buffer = io.BytesIO()
+        # mtime=0 keeps the blob deterministic for a given payload.
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+            handle.write(json.dumps(trace.to_payload()).encode("utf-8"))
+        self._disk.put(trace.key, buffer.getvalue())
 
     # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Force-compact the disk tier (applies the size bound eagerly)."""
+        if self._disk is not None:
+            self._disk.compact()
+
+    def storage_stats(self) -> Dict[str, int]:
+        """Segment-log health counters for /metrics (empty when memory-only)."""
+        if self._disk is None:
+            return {}
+        return self._disk.stats()
 
     def counters(self) -> Dict[str, int]:
         return {

@@ -83,7 +83,8 @@ class TestRunnerAndReport:
     def test_runner_produces_schema_versioned_report(self, tmp_path):
         scenario = with_budget(headline_scenario(quick=True), 300)
         runner = BenchmarkRunner(quick=True, repeats=1, simulations=[scenario],
-                                 sweeps=[], services=[], include_components=False)
+                                 sweeps=[], services=[], stores=[],
+                                 include_components=False)
         report = runner.run(index=7)
         assert report.schema == 1
         assert report.index == 7
@@ -211,7 +212,8 @@ class TestCli:
         """Two runs of the same scenario must agree on the stats digest."""
         scenario = with_budget(headline_scenario(quick=True), 200)
         runner = BenchmarkRunner(repeats=1, simulations=[scenario],
-                                 sweeps=[], services=[], include_components=False)
+                                 sweeps=[], services=[], stores=[],
+                                 include_components=False)
         first = runner.run(index=1).scenarios[0].stats_digest
         second = runner.run(index=2).scenarios[0].stats_digest
         assert first == second
@@ -239,7 +241,8 @@ class TestCli:
                               instructions=300, use_trace_replay=True,
                               headline_sweep=True)
         runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[sweep],
-                                 services=[], include_components=False)
+                                 services=[], stores=[],
+                                 include_components=False)
         report = runner.run(index=1)
         [result] = report.scenarios
         assert result.kind == "sweep"
@@ -248,3 +251,42 @@ class TestCli:
         assert result.rate == result.operations_per_second
         assert result.metadata["headline_sweep"] is True
         assert result.metadata["points_per_minute"] > 0
+
+
+class TestStoreScenario:
+    def _scenario(self):
+        from repro.bench.scenarios import StoreScenario
+
+        return StoreScenario(name="store_throughput/sharded-segment-log",
+                             entries=60, value_bytes=256, read_passes=1)
+
+    def test_store_result_in_report(self):
+        runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[],
+                                 services=[], stores=[self._scenario()],
+                                 include_components=False)
+        report = runner.run(index=1)
+        [result] = report.scenarios
+        assert result.kind == "store"
+        # 60 puts + 60 reads + 30 overwrites + 15 deletes + 1 compact
+        # + 60 cold re-reads
+        assert result.operations == 226
+        assert result.operations_per_second > 0
+        assert result.stats_digest and len(result.stats_digest) == 64
+        assert result.metadata["num_shards"] == 16
+        stats = result.metadata["store_stats"]
+        assert stats["entries"] == 45  # 60 written, 15 deleted
+        assert stats["compactions"] >= 1
+
+    def test_scenario_is_quick_eligible_and_stably_named(self):
+        from repro.bench.scenarios import store_scenarios
+
+        (quick,) = store_scenarios(quick=True)
+        (full,) = store_scenarios(quick=False)
+        # The perf gate matches scenarios by name across reports, so the
+        # quick CI run must carry the same name as the committed baseline.
+        assert quick.name == full.name == "store_throughput/sharded-segment-log"
+        assert quick.entries < full.entries
+
+    def test_deterministic_digest(self):
+        scenario = self._scenario()
+        assert scenario.run()["stats_digest"] == scenario.run()["stats_digest"]

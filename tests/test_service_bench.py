@@ -18,7 +18,7 @@ class TestServiceScenario:
             benchmarks=("gcc",),
         )
         runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[],
-                                 services=[scenario],
+                                 services=[scenario], stores=[],
                                  include_components=False)
         report = runner.run(index=1)
         [result] = report.scenarios

@@ -200,3 +200,68 @@ class TestClientCli:
         code = service_main(["health", "--url", "http://127.0.0.1:1"])
         assert code == 2
         assert "error: [unreachable]" in capsys.readouterr().err
+
+
+class TestWatchBackoff:
+    """``ServiceClient.watch`` must not busy-poll an idle job: the poll
+    interval backs off geometrically (with jitter) while nothing changes
+    and snaps back to ``interval`` on any observed progress."""
+
+    @staticmethod
+    def _job(state, completed=0):
+        return {"id": "j0", "state": state, "points": {"completed": completed}}
+
+    def _scripted_client(self, records):
+        client = ServiceClient("http://127.0.0.1:1")  # never dialled
+        queue = list(records)
+        client.status = lambda job_id: queue.pop(0)
+        return client
+
+    def test_idle_watch_backs_off_to_the_cap(self):
+        client = self._scripted_client(
+            [self._job("queued")] * 10 + [self._job(COMPLETED)]
+        )
+        sleeps = []
+        final = client.watch("j0", interval=0.1, max_interval=1.0,
+                             jitter=0.0, _sleep=sleeps.append)
+        assert final["state"] == COMPLETED
+        # The first poll observes a fresh state, so the delay starts at
+        # the base interval; every idle poll after that grows it until
+        # the cap, where it stays.
+        assert sleeps[0] == pytest.approx(0.1)
+        assert all(b >= a for a, b in zip(sleeps, sleeps[1:]))
+        assert sleeps[-1] == pytest.approx(1.0)
+        assert max(sleeps) <= 1.0 + 1e-9
+        assert sleeps[1] == pytest.approx(0.16)  # x1.6 geometric growth
+
+    def test_progress_resets_the_delay(self):
+        client = self._scripted_client(
+            [self._job("queued")] * 4
+            + [self._job("running", completed=1)] * 3
+            + [self._job(COMPLETED, completed=2)]
+        )
+        sleeps = []
+        client.watch("j0", interval=0.1, max_interval=1.0, jitter=0.0,
+                     _sleep=sleeps.append)
+        assert sleeps[3] > sleeps[0]  # idle polls had backed off...
+        assert sleeps[4] == pytest.approx(0.1)  # ...progress resets
+        assert sleeps[5] == pytest.approx(0.16)
+
+    def test_jitter_stays_within_bounds(self):
+        client = self._scripted_client(
+            [self._job("queued")] * 8 + [self._job(COMPLETED)]
+        )
+        sleeps = []
+        client.watch("j0", interval=0.1, max_interval=1.0, jitter=0.2,
+                     _sleep=sleeps.append)
+        expected = 0.1
+        for index, actual in enumerate(sleeps):
+            assert expected * 0.8 - 1e-9 <= actual <= expected * 1.2 + 1e-9, index
+            expected = min(expected * 1.6, 1.0)
+
+    def test_terminal_job_returns_without_sleeping(self):
+        client = self._scripted_client([self._job(COMPLETED, completed=2)])
+        sleeps = []
+        final = client.watch("j0", interval=0.1, _sleep=sleeps.append)
+        assert final["state"] == COMPLETED
+        assert sleeps == []

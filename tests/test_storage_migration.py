@@ -1,0 +1,152 @@
+"""Migration of legacy file-per-entry cache trees into the sharded store.
+
+The fixture tree under ``tests/fixtures/legacy_cache_v1/`` was captured
+from the pre-segment-log code: a figure6 plan (gcc, 300 instructions,
+60 warmup) executed against an empty ``--cache-dir``, leaving three
+result JSON files in the directory root and one gzip'd trace under
+``traces/``.  Opening that tree under the new stores must import every
+entry **byte for byte**, delete the legacy files, and make a re-run of
+the very same figure plan a pure cache hit (``executed == 0``).
+"""
+
+import gzip
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.experiments.scheduler import execute_points
+from repro.experiments.store import ResultStore
+from repro.service import spec as spec_mod
+from repro.storage.migrate import QUARANTINE_SUBDIR
+from repro.trace.store import TraceStore
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "legacy_cache_v1")
+
+#: The submission the fixture tree was captured from.
+FIXTURE_SPEC = {
+    "figure": "figure6",
+    "settings": {
+        "instructions": 300,
+        "warmup_instructions": 60,
+        "benchmarks": ["gcc"],
+    },
+}
+
+
+def _legacy_tree(tmp_path):
+    """A scratch copy of the fixture (migration mutates the tree)."""
+    cache_dir = str(tmp_path / "cache")
+    shutil.copytree(FIXTURE, cache_dir)
+    return cache_dir
+
+
+def _legacy_entries(cache_dir):
+    """{key: raw bytes} of the legacy result files and trace files."""
+    results = {}
+    for name in os.listdir(cache_dir):
+        if name.endswith(".json"):
+            with open(os.path.join(cache_dir, name), "rb") as handle:
+                results[name[: -len(".json")]] = handle.read()
+    traces = {}
+    trace_dir = os.path.join(cache_dir, "traces")
+    for name in os.listdir(trace_dir):
+        if name.endswith(".json.gz"):
+            with open(os.path.join(trace_dir, name), "rb") as handle:
+                traces[name[: -len(".json.gz")]] = handle.read()
+    return results, traces
+
+
+@pytest.fixture
+def migrated(tmp_path):
+    cache_dir = _legacy_tree(tmp_path)
+    legacy_results, legacy_traces = _legacy_entries(cache_dir)
+    assert len(legacy_results) == 3 and len(legacy_traces) == 1
+    store = ResultStore(cache_dir=cache_dir)
+    traces = TraceStore(cache_dir)
+    return cache_dir, store, traces, legacy_results, legacy_traces
+
+
+class TestMigration:
+    def test_results_import_byte_identical(self, migrated):
+        _, store, _, legacy_results, _ = migrated
+        for key, raw in legacy_results.items():
+            assert store._disk.get(key) == raw, key
+            assert store.peek(key) is not None, key
+
+    def test_traces_import_byte_identical(self, migrated):
+        _, _, traces, _, legacy_traces = migrated
+        for key, raw in legacy_traces.items():
+            assert traces._disk.get(key) == raw, key
+            assert traces.get(key) is not None, key
+
+    def test_legacy_files_are_removed(self, migrated):
+        cache_dir, _, _, _, _ = migrated
+        leftover = [n for n in os.listdir(cache_dir) if n.endswith(".json")]
+        assert leftover == []
+        trace_leftover = [
+            n for n in os.listdir(os.path.join(cache_dir, "traces"))
+            if n.endswith(".json.gz")
+        ]
+        assert trace_leftover == []
+
+    def test_rerun_of_fixture_plan_is_all_cache_hits(self, migrated):
+        cache_dir, store, traces, legacy_results, _ = migrated
+        plan = spec_mod.validate_submission(FIXTURE_SPEC)
+        points = plan.plan_points()
+        assert {p.store_key() for p in points} == set(legacy_results)
+        summary = execute_points(points, store, jobs=1, trace_store=traces)
+        assert summary["executed"] == 0
+        assert summary["cached"] == summary["unique"] == len(legacy_results)
+
+    def test_migration_is_idempotent(self, migrated):
+        cache_dir, _, _, legacy_results, legacy_traces = migrated
+        again = ResultStore(cache_dir=cache_dir)
+        again_traces = TraceStore(cache_dir)
+        for key, raw in legacy_results.items():
+            assert again._disk.get(key) == raw
+        for key, raw in legacy_traces.items():
+            assert again_traces._disk.get(key) == raw
+        # Exactly one live copy of each entry.
+        assert sorted(again._disk.keys()) == sorted(legacy_results)
+        assert sorted(again_traces._disk.keys()) == sorted(legacy_traces)
+
+
+class TestMigrationQuarantine:
+    def test_invalid_result_file_is_quarantined(self, tmp_path):
+        cache_dir = _legacy_tree(tmp_path)
+        bad = os.path.join(cache_dir, "deadbeef.json")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        store = ResultStore(cache_dir=cache_dir)
+        assert not os.path.exists(bad)
+        quarantined = os.listdir(os.path.join(cache_dir, QUARANTINE_SUBDIR))
+        assert quarantined == ["deadbeef.json"]
+        assert store.peek("deadbeef") is None
+
+    def test_key_mismatched_result_is_quarantined(self, tmp_path):
+        cache_dir = _legacy_tree(tmp_path)
+        legacy_results, _ = _legacy_entries(cache_dir)
+        key, raw = next(iter(legacy_results.items()))
+        wrong = "0" * 64
+        with open(os.path.join(cache_dir, f"{wrong}.json"), "wb") as handle:
+            handle.write(raw)  # payload says key=<key>, filename says <wrong>
+        store = ResultStore(cache_dir=cache_dir)
+        assert store.peek(wrong) is None
+        assert f"{wrong}.json" in os.listdir(
+            os.path.join(cache_dir, QUARANTINE_SUBDIR)
+        )
+
+    def test_invalid_trace_is_quarantined(self, tmp_path):
+        cache_dir = _legacy_tree(tmp_path)
+        trace_dir = os.path.join(cache_dir, "traces")
+        bad_key = "f" * 64
+        blob = gzip.compress(json.dumps({"key": "something-else"}).encode())
+        with open(os.path.join(trace_dir, f"{bad_key}.json.gz"), "wb") as handle:
+            handle.write(blob)
+        traces = TraceStore(cache_dir)
+        assert traces.get(bad_key) is None
+        assert f"{bad_key}.json.gz" in os.listdir(
+            os.path.join(trace_dir, QUARANTINE_SUBDIR)
+        )

@@ -139,31 +139,49 @@ class TestTraceStore:
         assert store.get(gcc_trace.key) is gcc_trace
         assert store.counters()["memory_hits"] == 1
 
+    @staticmethod
+    def _segment_files(trace_dir):
+        return [
+            os.path.join(root, name)
+            for root, _, names in os.walk(trace_dir)
+            for name in names
+            if name.startswith("seg-") and name.endswith(".log")
+        ]
+
     def test_schema_mismatch_is_a_miss(self, gcc_trace, tmp_path):
         store = TraceStore(str(tmp_path))
-        store.put(gcc_trace)
-        path = store._path(gcc_trace.key)
         payload = gcc_trace.to_payload()
         payload["schema"] = TRACE_SCHEMA_VERSION + 1
-        with gzip.open(path, "wt", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        store._disk.put(gcc_trace.key,
+                        gzip.compress(json.dumps(payload).encode("utf-8")))
         assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
 
-    def test_corrupt_file_is_a_miss(self, gcc_trace, tmp_path):
+    def test_corrupt_segment_is_a_miss(self, gcc_trace, tmp_path):
         store = TraceStore(str(tmp_path))
         store.put(gcc_trace)
-        with open(store._path(gcc_trace.key), "wb") as handle:
-            handle.write(b"not gzip at all")
+        segments = self._segment_files(store.trace_dir)
+        assert segments, "trace store wrote no segment files"
+        for path in segments:
+            with open(path, "wb") as handle:
+                handle.write(b"not a segment record at all")
         assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
 
-    def test_truncated_gzip_is_a_miss(self, gcc_trace, tmp_path):
+    def test_truncated_segment_is_a_miss(self, gcc_trace, tmp_path):
+        """A torn tail (writer killed mid-append) reads as a miss."""
         store = TraceStore(str(tmp_path))
         store.put(gcc_trace)
-        path = store._path(gcc_trace.key)
-        with open(path, "rb") as handle:
-            blob = handle.read()
-        with open(path, "wb") as handle:
-            handle.write(blob[: len(blob) // 2])
+        for path in self._segment_files(store.trace_dir):
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            with open(path, "wb") as handle:
+                handle.write(blob[: len(blob) // 2])
+        assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
+
+    def test_truncated_gzip_payload_is_a_miss(self, gcc_trace, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.put(gcc_trace)
+        raw = store._disk.get(gcc_trace.key)
+        store._disk.put(gcc_trace.key, raw[: len(raw) // 2])
         assert TraceStore(str(tmp_path)).get(gcc_trace.key) is None
 
     def test_key_mismatch_is_a_miss(self, gcc_trace, tmp_path):
@@ -204,13 +222,19 @@ class TestCacheDirCoexistence:
                                 architecture="mono-1c", config=config)
         execute_points([point], results, jobs=1, use_trace_replay=True)
 
-        # The result lives in the directory root, the trace under traces/;
-        # a fresh ResultStore must not mistake the trace for a result and
-        # a fresh TraceStore must not see the result payload.
-        root_files = [f for f in os.listdir(cache_dir) if f.endswith(".json")]
-        assert root_files, "result JSON missing from the cache-dir root"
-        trace_files = os.listdir(os.path.join(cache_dir, "traces"))
-        assert any(f.endswith(".json.gz") for f in trace_files)
+        # Results live in segment logs under results/, traces under
+        # traces/; a fresh ResultStore must not mistake the trace for a
+        # result and a fresh TraceStore must not see the result payload.
+        def segment_files(subdir):
+            return [
+                os.path.join(root, name)
+                for root, _, names in os.walk(os.path.join(cache_dir, subdir))
+                for name in names
+                if name.startswith("seg-") and name.endswith(".log")
+            ]
+
+        assert segment_files("results"), "result segments missing"
+        assert segment_files("traces"), "trace segments missing"
 
         fresh_results = ResultStore(cache_dir=cache_dir)
         assert fresh_results.peek(point.store_key()) is not None
