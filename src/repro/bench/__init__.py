@@ -20,9 +20,11 @@ from repro.bench.report import (
 from repro.bench.runner import BenchmarkRunner, run_and_save
 from repro.bench.scenarios import (
     ComponentScenario,
+    SampledSweepScenario,
     SimulationScenario,
     component_scenarios,
     headline_scenario,
+    sampled_sweep_scenarios,
     simulation_scenarios,
 )
 
@@ -34,6 +36,7 @@ __all__ = [
     "ComponentScenario",
     "ScenarioDelta",
     "ScenarioResult",
+    "SampledSweepScenario",
     "SimulationScenario",
     "compare_reports",
     "component_scenarios",
@@ -41,5 +44,6 @@ __all__ = [
     "headline_scenario",
     "next_report_index",
     "run_and_save",
+    "sampled_sweep_scenarios",
     "simulation_scenarios",
 ]

@@ -252,6 +252,119 @@ class SweepScenario:
         }
 
 
+@dataclass(frozen=True)
+class SampledSweepScenario:
+    """Exact-vs-sampled replay of one figure-style architecture matrix.
+
+    One decoded trace is recorded and every architecture replays it
+    twice: once exactly (every instruction gets detailed timing) and
+    once through the systematic-sampling engine (detailed windows at a
+    fixed stride, functional warm-up between them, IPC as mean ± CI).
+    The committed metric is ``per_point_speedup`` — exact seconds over
+    sampled seconds, averaged across the matrix — the factor the
+    sampling engine buys per sweep point; the accuracy side of the same
+    trade is gated separately by ``repro.validate --sampled-accuracy``.
+    """
+
+    name: str
+    profile: str
+    instructions: int
+    sample: str  # SamplingSpec text, "STRIDE:WINDOW[:WARMUP]"
+    architectures: tuple  # keys into _SWEEP_ARCHITECTURES
+    register_budget: int = 128
+
+    def run(self) -> Dict[str, object]:
+        import time
+
+        from repro.sampling import parse_sampling, sampled_simulate
+        from repro.trace import record_trace, replay_simulate
+
+        spec = parse_sampling(self.sample)
+        config = ProcessorConfig(
+            max_instructions=self.instructions,
+            num_int_physical=self.register_budget,
+            num_fp_physical=self.register_budget,
+        )
+        workload = SyntheticWorkload(get_profile(self.profile))
+        trace = record_trace(
+            self.profile,
+            workload.instructions(int(self.instructions * _STREAM_SLACK)),
+            config,
+            {
+                "kind": "bench-sampled-sweep",
+                "benchmark": self.profile,
+                "instructions": self.instructions,
+            },
+        )
+        digest = hashlib.sha256()
+        exact_seconds = 0.0
+        sampled_seconds = 0.0
+        for arch_key in self.architectures:
+            factory = _SWEEP_ARCHITECTURES[arch_key]
+            started = time.perf_counter()
+            exact = replay_simulate(trace, factory, config,
+                                    benchmark_name=self.profile)
+            exact_seconds += time.perf_counter() - started
+            started = time.perf_counter()
+            sampled = sampled_simulate(trace, factory, config, spec,
+                                       benchmark_name=self.profile)
+            sampled_seconds += time.perf_counter() - started
+            for stats in (exact, sampled):
+                payload = json.dumps(stats.to_dict(), sort_keys=True,
+                                     separators=(",", ":"), default=str)
+                digest.update(payload.encode("utf-8"))
+        points = len(self.architectures)
+        return {
+            "points": points,
+            "summary": {
+                "architectures": list(self.architectures),
+                "exact_points": points,
+                "sampled_points": points,
+            },
+            "stats_digest": digest.hexdigest(),
+            "exact_seconds": round(exact_seconds, 3),
+            "sampled_seconds": round(sampled_seconds, 3),
+            "per_point_speedup": round(
+                exact_seconds / sampled_seconds, 2
+            ) if sampled_seconds > 0 else 0.0,
+            "sampling": spec.to_payload(),
+        }
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "instructions": self.instructions,
+            "sample": self.sample,
+            "architectures": list(self.architectures),
+            "register_budget": self.register_budget,
+        }
+
+
+def sampled_sweep_scenarios(quick: bool = False) -> List[SampledSweepScenario]:
+    """Exact-vs-sampled comparison sweeps.
+
+    The instruction budget stays at sampling scale even in ``quick``
+    mode — systematic sampling needs a stream long enough to hold its
+    stride plan — so quick mode shrinks the architecture matrix
+    instead.  The spec (stride 3000, window 200, warm-up 200) keeps
+    ~7% of instructions detailed, which is where the ≥5× per-point
+    speedup the trajectory commits to comes from.
+    """
+    architectures = (
+        ("mono-1c", "mono-2c-1-bypass", "rfc-ported")
+        if quick else tuple(_SWEEP_ARCHITECTURES)
+    )
+    return [
+        SampledSweepScenario(
+            name="sweep/gcc/sampled-vs-exact",
+            profile="gcc",
+            instructions=24000,
+            sample="3000:200:200",
+            architectures=architectures,
+        )
+    ]
+
+
 def sweep_scenarios(quick: bool = False) -> List[SweepScenario]:
     """The sweep matrices in both execution modes.
 
@@ -551,6 +664,12 @@ def scenario_overview(quick: bool = False) -> List[str]:
         lines.append(
             f"{sweep.name}: {len(sweep.points())} points x "
             f"{sweep.instructions} instructions via {mode}{tag}"
+        )
+    for sampled in sampled_sweep_scenarios(quick):
+        lines.append(
+            f"{sampled.name}: {len(sampled.architectures)} architectures x "
+            f"{sampled.instructions} instructions, exact vs sampled "
+            f"({sampled.sample})"
         )
     for service in service_scenarios(quick):
         lines.append(

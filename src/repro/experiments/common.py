@@ -24,6 +24,7 @@ from repro.regfile.cache import RegisterFileCache
 from repro.regfile.monolithic import SingleBankedRegisterFile
 from repro.regfile.policies import caching_policy_by_name
 from repro.regfile.prefetch import fetch_policy_by_name
+from repro.sampling.spec import SamplingSpec
 from repro.workloads.spec_suites import SPECFP95, SPECINT95
 
 #: Type of a register file factory as accepted by the processor model.
@@ -37,13 +38,16 @@ class ExperimentSettings:
     ``instructions_per_benchmark`` trades fidelity for run time; the
     default keeps a full-suite experiment in the tens of seconds on a
     laptop.  ``benchmarks`` restricts the suite (useful for quick looks
-    and for the pytest-benchmark harness).
+    and for the pytest-benchmark harness).  ``sampling`` switches every
+    point of the run from exact simulation to systematic interval
+    sampling (``--sample`` on the runner; exact is the default).
     """
 
     instructions_per_benchmark: int = 8_000
     warmup_instructions: int = 2_000
     benchmarks: Optional[Sequence[str]] = None
     base_config: ProcessorConfig = field(default_factory=ProcessorConfig)
+    sampling: Optional[SamplingSpec] = None
 
     def __post_init__(self) -> None:
         if self.instructions_per_benchmark <= 0:
@@ -301,6 +305,7 @@ class SimulationCache:
             architecture=key,
             config=config or self.settings.processor_config(),
             warmup_instructions=self.settings.warmup_instructions,
+            sampling=self.settings.sampling,
         )
 
     def run(
@@ -356,6 +361,7 @@ def suite_points(
             architecture=key,
             config=resolved,
             warmup_instructions=settings.warmup_instructions,
+            sampling=settings.sampling,
         )
         for benchmark in dict.fromkeys(benchmarks)
     ]

@@ -46,6 +46,7 @@ from repro.errors import ReproError
 from repro.experiments.common import ExperimentResult, ExperimentSettings, SimulationCache
 from repro.experiments.scheduler import SimulationPoint, SweepEngine
 from repro.experiments.store import ResultStore
+from repro.sampling.spec import parse_sampling
 from repro.version import __version__
 
 #: All experiments in the order they appear in the paper.
@@ -104,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every point with a live frontend instead of "
                              "the trace-once/replay-many engine (slower; "
                              "results are bit-identical either way)")
+    parser.add_argument("--sample", default=None, metavar="STRIDE:WINDOW[:WARMUP]",
+                        help="estimate every point by systematic interval "
+                             "sampling instead of exact simulation: detailed "
+                             "windows of WINDOW instructions every STRIDE "
+                             "instructions, IPC reported as mean ± confidence "
+                             "interval (see python -m repro.sampling --list; "
+                             "default: exact)")
     parser.add_argument("--format", default="text", choices=REPORT_FORMATS,
                         help="report format (default: text)")
     parser.add_argument("--output", default=None,
@@ -180,6 +188,11 @@ def render_json(results: Sequence[ExperimentResult],
             "benchmarks": (list(settings.benchmarks)
                            if settings.benchmarks is not None else None),
         },
+        **(
+            {"sampling": settings.sampling.to_payload()}
+            if settings.sampling is not None
+            else {}
+        ),
         "results": [
             {
                 "name": result.name,
@@ -244,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         settings = ExperimentSettings(
             instructions_per_benchmark=args.instructions,
             benchmarks=args.benchmarks,
+            sampling=(parse_sampling(args.sample)
+                      if args.sample is not None else None),
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -47,6 +47,7 @@ from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
 from repro.pipeline.stats import SimulationStats
 from repro.regfile.base import RegisterFileModel
+from repro.sampling.spec import SamplingSpec
 from repro.trace import DecodedTrace, TraceStore, replay_simulate, trace_key
 from repro.trace.recorder import record_trace_with_stats
 from repro.workloads.profiles import get_profile
@@ -61,13 +62,21 @@ _WORKER_TRACE_CACHE_LIMIT = 4
 
 @dataclass(frozen=True)
 class SimulationPoint:
-    """One (benchmark, architecture, configuration) simulation to run."""
+    """One (benchmark, architecture, configuration) simulation to run.
+
+    ``sampling`` switches the point from exact simulation to systematic
+    interval sampling (see :mod:`repro.sampling`); it is part of the
+    point's identity — sampled and exact results never share a store
+    entry — but not of its trace key, so sampled and exact points of one
+    sweep still share one decoded trace.
+    """
 
     benchmark: str
     factory: Callable[[], RegisterFileModel]
     architecture: str
     config: ProcessorConfig
     warmup_instructions: int = 0
+    sampling: Optional["SamplingSpec"] = None
 
     def store_key(self) -> str:
         return simulation_key(
@@ -76,15 +85,19 @@ class SimulationPoint:
             self.config,
             self.warmup_instructions,
             self.factory,
+            sampling=None if self.sampling is None else self.sampling.to_payload(),
         )
 
     def metadata(self) -> dict:
-        return {
+        metadata = {
             "benchmark": self.benchmark,
             "architecture": self.architecture,
             "instructions": self.config.max_instructions,
             "warmup_instructions": self.warmup_instructions,
         }
+        if self.sampling is not None:
+            metadata["sampling"] = self.sampling.to_payload()
+        return metadata
 
     # ------------------------------------------------------------------
     # trace identity
@@ -123,6 +136,7 @@ def _recording_doubles_as_run(point: SimulationPoint) -> bool:
     config = point.config
     return (
         point.warmup_instructions == 0
+        and point.sampling is None
         and not config.collect_occupancy
         and config.max_cycles is None
     )
@@ -155,8 +169,20 @@ def run_simulation_point(
 
     With ``trace`` the point is replayed (bit-identical, no workload
     generation or frontend); without it the point runs live from
-    scratch, exactly as before the trace engine existed.
+    scratch, exactly as before the trace engine existed.  A point with a
+    :class:`~repro.sampling.SamplingSpec` is estimated by systematic
+    interval sampling over the trace instead (recorded here on demand —
+    the sampling engine is trace-driven by construction).
     """
+    if point.sampling is not None:
+        from repro.sampling.engine import sampled_simulate
+
+        if trace is None:
+            trace = build_point_trace(point)
+        return sampled_simulate(
+            trace, point.factory, point.config, point.sampling,
+            benchmark_name=point.benchmark,
+        )
     if trace is not None:
         return replay_simulate(
             trace, point.factory, point.config, benchmark_name=point.benchmark

@@ -77,8 +77,14 @@ def simulation_key(
     config: ProcessorConfig,
     warmup_instructions: int,
     factory: Optional[Callable] = None,
+    sampling: Optional[dict] = None,
 ) -> str:
-    """Content hash identifying one simulation point."""
+    """Content hash identifying one simulation point.
+
+    ``sampling`` (a :meth:`SamplingSpec.to_payload` dictionary) enters
+    the payload only when set, so every pre-sampling cache entry keeps
+    its key and sampled results can never collide with exact ones.
+    """
     payload = {
         "schema": SCHEMA_VERSION,
         "benchmark": benchmark,
@@ -87,6 +93,8 @@ def simulation_key(
         "config": dataclasses.asdict(config),
         "warmup_instructions": warmup_instructions,
     }
+    if sampling is not None:
+        payload["sampling"] = sampling
     return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
 
 

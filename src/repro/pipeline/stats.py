@@ -85,6 +85,13 @@ class SimulationStats:
     #: without the validation subsystem in the tree.
     commit_checksum: Optional[str] = None
 
+    #: Sampling report, set only when the run was produced by the
+    #: systematic-sampling engine (see :mod:`repro.sampling`): the spec,
+    #: per-window IPCs, and the mean ± confidence-interval summary.
+    #: ``None`` (exact runs) is excluded from :meth:`to_dict` for the same
+    #: fixture-stability reason as ``commit_checksum``.
+    sampling: Optional[dict] = None
+
     # ------------------------------------------------------------------
 
     @property
@@ -173,7 +180,7 @@ class SimulationStats:
     #: Optional fields omitted from :meth:`to_dict` while unset, so runs
     #: without the corresponding feature serialize exactly as they did
     #: before the field existed (golden fixtures, bench digests).
-    _OPTIONAL_FIELDS = ("commit_checksum",)
+    _OPTIONAL_FIELDS = ("commit_checksum", "sampling")
 
     def to_dict(self) -> dict:
         """JSON-serializable dictionary holding every counter of the run."""

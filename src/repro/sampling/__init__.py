@@ -1,0 +1,83 @@
+"""Systematic interval sampling with confidence intervals.
+
+SMARTS/SimPoint-style sampling over a recorded
+:class:`~repro.trace.schema.DecodedTrace`: short detailed windows at a
+fixed stride, cheap functional fast-forward between them, and an IPC
+estimate with error bars instead of a point value.  Exact simulation
+remains the default everywhere; sampling is opt-in per point via a
+:class:`SamplingSpec` (``--sample stride:window[:warmup]`` on the
+experiment runner, ``"sample"`` on service job submissions).
+
+Protocol invariants the rest of the stack relies on:
+
+* **Confidence-interval semantics** — the reported interval is a
+  two-sided Student-t interval over the *per-window IPCs*:
+  ``mean ± t(confidence, n-1) · s / sqrt(n)`` with the sample standard
+  deviation (``ddof=1``).  Windows are equal-size by construction, so
+  the unweighted mean is the systematic-sampling estimator.  Supported
+  confidence levels are exactly the committed t-tables (0.90, 0.95,
+  0.99).  The accuracy contract — validated by ``repro.validate
+  --sampled-accuracy`` over the 10-architecture differential matrix —
+  is that the interval contains the full-run IPC.
+* **Window placement** — window ``k`` targets offset ``k · stride`` and
+  snaps forward to the next fetch-event boundary (fetch groups are
+  indivisible); a spec that places fewer than two windows is rejected
+  (:class:`~repro.errors.ConfigurationError`), never silently degraded.
+* **Warm-up neutrality** — functional warm-up touches rename, the
+  scoreboard, the register-file model and the data cache only, at
+  negative cycle numbers, and must not contribute to any window
+  statistic (data-cache counters are zeroed after warming; value-read
+  accounting is skipped on warm releases).
+* **Checkpoint addressing** — a :class:`TraceCheckpoint` is
+  content-addressed by ``(trace key, position, schema version)`` and
+  stored through the sharded :class:`~repro.trace.store.TraceStore`;
+  corrupt or schema-mismatched stored checkpoints load as ``None``
+  (cache miss), mirroring trace-store quarantine semantics.  Resume
+  from a checkpoint reproduces the commit-record *suffix* of a full run
+  byte for byte, because commit records are pure per-instruction.
+
+``python -m repro.sampling --list`` prints the knobs and their valid
+ranges; ``--spec STRIDE:WINDOW[:WARMUP]`` validates a spec offline.
+"""
+
+from repro.sampling.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    TraceCheckpoint,
+    build_checkpoint,
+    build_checkpoints,
+    checkpoint_key,
+    load_checkpoint,
+    resume_simulate,
+    store_checkpoint,
+)
+from repro.sampling.engine import (
+    confidence_interval,
+    functional_warmup,
+    sampled_simulate,
+    t_critical,
+    window_plan,
+)
+from repro.sampling.spec import (
+    SUPPORTED_CONFIDENCE_LEVELS,
+    SamplingSpec,
+    parse_sampling,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "SUPPORTED_CONFIDENCE_LEVELS",
+    "SamplingSpec",
+    "TraceCheckpoint",
+    "build_checkpoint",
+    "build_checkpoints",
+    "checkpoint_key",
+    "confidence_interval",
+    "functional_warmup",
+    "load_checkpoint",
+    "parse_sampling",
+    "resume_simulate",
+    "sampled_simulate",
+    "store_checkpoint",
+    "t_critical",
+    "window_plan",
+]

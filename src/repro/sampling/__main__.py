@@ -1,0 +1,84 @@
+"""CLI introspection for the sampling subsystem.
+
+``python -m repro.sampling --list`` prints the sampling knobs, their
+valid ranges and the supported confidence levels; ``--spec
+STRIDE:WINDOW[:WARMUP]`` validates a spec string exactly as the
+experiment runner and the service admission layer would, printing the
+resolved spec payload as JSON.  Invalid specs exit with status 2 and a
+one-line ``error:`` message — never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.sampling.spec import (
+    SUPPORTED_CONFIDENCE_LEVELS,
+    SamplingSpec,
+    parse_sampling,
+)
+
+_KNOBS = (
+    ("stride", "instructions between detailed-window starts (positive int)"),
+    ("window", "detailed instructions per window (positive int, <= stride)"),
+    ("warmup", "functional warm-up instructions per window "
+               "(non-negative int; default: one window)"),
+    ("confidence", "confidence level of the IPC interval "
+                   f"(one of {', '.join(str(c) for c in SUPPORTED_CONFIDENCE_LEVELS)})"),
+    ("target_half_width", "optional relative half-width target in (0, 1); "
+                          "stops adding windows once reached"),
+    ("min_windows", "windows simulated before adaptive stopping (int >= 2)"),
+    ("max_windows", "hard cap on the window count (int >= min_windows)"),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sampling",
+        description="Inspect and validate systematic-sampling specifications.",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the sampling knobs, valid ranges and confidence levels",
+    )
+    parser.add_argument(
+        "--spec",
+        metavar="STRIDE:WINDOW[:WARMUP]",
+        help="validate a sampling spec string and print its resolved payload",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.list and args.spec is None:
+        parser.print_help()
+        return 0
+    if args.list:
+        print("sampling knobs (CLI form: --sample STRIDE:WINDOW[:WARMUP]):")
+        for name, description in _KNOBS:
+            print(f"  {name:<18} {description}")
+        defaults = SamplingSpec(stride=2, window=1)
+        print(
+            "defaults: confidence "
+            f"{defaults.confidence}, min_windows {defaults.min_windows}, "
+            "warmup = window, no half-width target, no window cap"
+        )
+    if args.spec is not None:
+        try:
+            spec = parse_sampling(args.spec)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(spec.to_payload(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,263 @@
+"""Trace-level architectural checkpoints for mid-stream resume.
+
+A :class:`TraceCheckpoint` pins one *position* in a decoded trace — an
+instruction offset snapped to a fetch-event boundary — together with
+everything needed to start a detailed simulation there without
+replaying the prefix:
+
+* the **symbolic architectural register state** at the position: each
+  logical register → the sequence number of its youngest writer among
+  ``instructions[:position]`` (the simulator is timing-only, so this is
+  the full architectural contract — the same symbolic state every
+  correct pipeline run reaches after committing the prefix), and
+* the **warm-up seed**: the offset the functional warm-up replay should
+  start from (``position - warmup``, clamped to 0), so microarchitected
+  state (map table, RFC content, data cache) is warm when timing starts.
+
+Checkpoints are content-addressed (trace key + position + schema
+version) and stored through the existing sharded :class:`TraceStore`
+payload API; a corrupt or schema-mismatched stored checkpoint loads as
+``None`` — a cache miss, never an error — mirroring the store's trace
+semantics.
+
+Commit-suffix equality: because commit records are pure per-instruction
+functions (see :func:`repro.validate.observer.commit_record`), a resumed
+run's commit stream is exactly the ``instructions[position:]`` suffix of
+a full run's stream, and its final architectural state merged over the
+checkpoint's ``register_state`` equals the full run's final state.
+``tests/test_sampling_checkpoint.py`` locks both properties down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.pipeline.stats import SimulationStats
+from repro.sampling.engine import event_offsets, functional_warmup, window_plan
+from repro.sampling.spec import SamplingSpec
+from repro.trace.schema import DecodedTrace
+
+#: Bump whenever the checkpoint payload layout changes; mismatching
+#: stored checkpoints are treated as cache misses, never as errors.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def checkpoint_key(trace_key: str, position: int) -> str:
+    """Content hash identifying one checkpoint of one trace."""
+    payload = {
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "kind": "trace-checkpoint",
+        "trace": trace_key,
+        "position": position,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceCheckpoint:
+    """Architectural state + warm-up seed at one trace position.
+
+    ``register_state`` uses the observer's stringified register keys
+    (``"r5"``, ``"f12"`` → youngest writer seq), so it merges directly
+    with :meth:`CommitStreamAccumulator.state_snapshot` output.
+    """
+
+    trace_key: str
+    position: int
+    event_index: int
+    warmup_start: int
+    register_state: Dict[str, int]
+
+    @property
+    def key(self) -> str:
+        return checkpoint_key(self.trace_key, self.position)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-serializable payload (inverse of :meth:`from_payload`)."""
+        return {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "trace_key": self.trace_key,
+            "position": self.position,
+            "event_index": self.event_index,
+            "warmup_start": self.warmup_start,
+            "register_state": dict(self.register_state),
+        }
+
+    @classmethod
+    def from_payload(cls, payload) -> "TraceCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_payload` output.
+
+        Raises
+        ------
+        SimulationError
+            On schema mismatch or a structurally invalid payload.
+        """
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CHECKPOINT_SCHEMA_VERSION
+        ):
+            raise SimulationError(
+                "checkpoint payload schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else payload!r} "
+                f"!= {CHECKPOINT_SCHEMA_VERSION}"
+            )
+        try:
+            checkpoint = cls(
+                trace_key=payload["trace_key"],
+                position=int(payload["position"]),
+                event_index=int(payload["event_index"]),
+                warmup_start=int(payload["warmup_start"]),
+                register_state={
+                    str(register): int(seq)
+                    for register, seq in payload["register_state"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise SimulationError(
+                f"malformed checkpoint payload: {error}"
+            ) from error
+        if checkpoint.position < 0 or checkpoint.event_index < 0:
+            raise SimulationError("malformed checkpoint payload: negative position")
+        if not 0 <= checkpoint.warmup_start <= checkpoint.position:
+            raise SimulationError(
+                "malformed checkpoint payload: warmup_start outside prefix"
+            )
+        return checkpoint
+
+
+# ----------------------------------------------------------------------
+# building
+# ----------------------------------------------------------------------
+
+def _register_state(trace: DecodedTrace, position: int) -> Dict[str, int]:
+    """Youngest-writer map over the prefix, observer-key encoded."""
+    state: Dict[str, int] = {}
+    for instruction in trace.instructions[:position]:
+        if instruction.dest is not None:
+            state[str(instruction.dest)] = instruction.seq
+    return state
+
+
+def build_checkpoint(
+    trace: DecodedTrace, position: int, warmup: int
+) -> TraceCheckpoint:
+    """Checkpoint the trace at the event boundary at or past ``position``.
+
+    Raises
+    ------
+    SimulationError
+        When no event boundary at or past ``position`` exists.
+    """
+    if position < 0:
+        raise SimulationError(f"checkpoint position {position} is negative")
+    offsets = event_offsets(trace)
+    index = bisect_left(offsets, position)
+    if index >= len(offsets):
+        raise SimulationError(
+            f"checkpoint position {position} is past the last fetch event "
+            f"of trace {trace.name!r} ({len(trace.instructions)} instructions)"
+        )
+    snapped = offsets[index]
+    return TraceCheckpoint(
+        trace_key=trace.key,
+        position=snapped,
+        event_index=index,
+        warmup_start=max(0, snapped - warmup),
+        register_state=_register_state(trace, snapped),
+    )
+
+
+def build_checkpoints(
+    trace: DecodedTrace, spec: SamplingSpec
+) -> List[TraceCheckpoint]:
+    """One checkpoint per detailed-window start of ``spec`` over ``trace``."""
+    warmup = spec.effective_warmup
+    return [
+        TraceCheckpoint(
+            trace_key=trace.key,
+            position=start,
+            event_index=index,
+            warmup_start=max(0, start - warmup),
+            register_state=_register_state(trace, start),
+        )
+        for index, start in window_plan(trace, spec)
+    ]
+
+
+# ----------------------------------------------------------------------
+# persistence (through the sharded trace store)
+# ----------------------------------------------------------------------
+
+def store_checkpoint(store, checkpoint: TraceCheckpoint) -> None:
+    """Persist ``checkpoint`` through a :class:`TraceStore`."""
+    store.put_payload(checkpoint.key, checkpoint.to_payload())
+
+
+def load_checkpoint(store, trace_key: str, position: int) -> Optional[TraceCheckpoint]:
+    """Load a stored checkpoint; corrupt or absent entries are misses."""
+    payload = store.get_payload(checkpoint_key(trace_key, position))
+    if payload is None:
+        return None
+    try:
+        checkpoint = TraceCheckpoint.from_payload(payload)
+    except SimulationError:
+        return None
+    if checkpoint.trace_key != trace_key or checkpoint.position != position:
+        return None
+    return checkpoint
+
+
+# ----------------------------------------------------------------------
+# resume
+# ----------------------------------------------------------------------
+
+def resume_simulate(
+    trace: DecodedTrace,
+    checkpoint: TraceCheckpoint,
+    regfile_factory,
+    config,
+    benchmark_name: Optional[str] = None,
+    commit_observer=None,
+) -> SimulationStats:
+    """Run the trace suffix starting at ``checkpoint`` with timing.
+
+    The warm-up seed ``instructions[warmup_start:position]`` is replayed
+    functionally first, then the pipeline runs the remaining stream in
+    full detail.  The returned stats cover only the suffix; merge
+    ``checkpoint.register_state`` under the observer's final snapshot to
+    recover the full-run architectural state.
+    """
+    if checkpoint.trace_key != trace.key:
+        raise SimulationError(
+            f"checkpoint is for trace {checkpoint.trace_key[:12]}…, "
+            f"got {trace.key[:12]}…"
+        )
+    from repro.pipeline.processor import Processor
+    from repro.trace.replayer import TraceReplayer
+
+    remaining = len(trace.instructions) - checkpoint.position
+    run_config = config.with_overrides(max_instructions=remaining)
+    replayer = TraceReplayer(trace, start_event=checkpoint.event_index)
+    processor = Processor(
+        None,
+        regfile_factory,
+        run_config,
+        benchmark_name=benchmark_name or trace.name,
+        commit_observer=commit_observer,
+        frontend=replayer,
+    )
+    functional_warmup(
+        processor,
+        trace.instructions[checkpoint.warmup_start:checkpoint.position],
+    )
+    return processor.run()

@@ -93,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict the figure plan to these benchmarks")
     submit.add_argument("--priority", type=int, default=0,
                         help="queue priority; higher runs first (default: 0)")
+    submit.add_argument("--sample", default=None,
+                        metavar="STRIDE:WINDOW[:WARMUP]",
+                        help="estimate every point by systematic interval "
+                             "sampling instead of exact simulation "
+                             "(server-validated; default: exact)")
     submit.add_argument("--wait", action="store_true",
                         help="watch the job until it finishes")
 
@@ -235,6 +240,8 @@ def _run_submit(args: argparse.Namespace, client: ServiceClient) -> int:
             return 2
         if isinstance(spec, dict):
             spec.setdefault("priority", args.priority)
+            if args.sample is not None:
+                spec.setdefault("sample", args.sample)
     else:
         settings: dict = {}
         if args.instructions is not None:
@@ -245,6 +252,10 @@ def _run_submit(args: argparse.Namespace, client: ServiceClient) -> int:
             settings["benchmarks"] = args.benchmarks
         spec = {"figure": args.figure, "settings": settings,
                 "priority": args.priority}
+        if args.sample is not None:
+            # Passed through verbatim; the server validates and echoes
+            # the resolved spec (422 invalid_sampling on bad values).
+            spec["sample"] = args.sample
     job = client.submit(spec)
     _print_job_line(job)
     print(job["id"])

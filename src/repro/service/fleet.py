@@ -8,9 +8,12 @@ logs, cross-replica claims); this module adds the *control* plane:
   lease is a tiny JSON file ``jobs/leases/<job_id>.json`` holding
   ``{owner, deadline}``; all lease operations happen under one global
   ``flock`` so acquire/steal decisions are atomic across processes.
-  Live replicas renew their leases from a heartbeat thread; a replica
-  that dies simply stops renewing, its leases expire, and any other
-  replica may **steal** the job — reset it to queued and run it again.
+  Live replicas renew their leases from a heartbeat thread; renewal
+  never overwrites a lease another owner has taken, so a replica that
+  was presumed dead and then woke up cannot steal its old job back.  A
+  replica that dies simply stops renewing, its leases expire, and any
+  other replica may **steal** the job — reset it to queued and run it
+  again.
   Completed points are cache hits, so the re-run only pays for what the
   dead replica never finished (the same semantics as a single-process
   restart).

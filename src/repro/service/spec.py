@@ -44,6 +44,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scheduler import SimulationPoint
 from repro.pipeline.config import ProcessorConfig
+from repro.sampling.spec import SamplingSpec, parse_sampling
 
 
 class ApiError(Exception):
@@ -144,7 +145,9 @@ def _build_settings(payload: dict) -> ExperimentSettings:
         raise ApiError(422, "invalid_settings", str(error)) from error
 
 
-def _build_point(entry, index: int) -> SimulationPoint:
+def _build_point(
+    entry, index: int, sampling: Optional[SamplingSpec] = None
+) -> SimulationPoint:
     entry = _require_mapping(entry, 422, "invalid_point",
                              f"points[{index}]")
     benchmark = entry.get("benchmark")
@@ -203,6 +206,7 @@ def _build_point(entry, index: int) -> SimulationPoint:
         architecture=architecture,
         config=config,
         warmup_instructions=warmup,
+        sampling=sampling,
     )
     # Surface bad benchmark names at admission, not at execution.
     try:
@@ -213,6 +217,31 @@ def _build_point(entry, index: int) -> SimulationPoint:
         raise ApiError(422, "invalid_point",
                        f"points[{index}]: {error}") from error
     return point
+
+
+def _build_sampling(payload: dict) -> Optional[SamplingSpec]:
+    """Parse the optional top-level ``sample`` key of a submission.
+
+    Accepts the CLI string form (``"2000:200"`` / ``"2000:200:400"``) or
+    a :meth:`SamplingSpec.to_payload` object; anything invalid is a
+    structured 422 with ``error.code == "invalid_sampling"``, never a
+    traceback.
+    """
+    if "sample" not in payload or payload["sample"] is None:
+        return None
+    raw = payload["sample"]
+    try:
+        if isinstance(raw, str):
+            return parse_sampling(raw)
+        if isinstance(raw, dict):
+            return SamplingSpec.from_payload(raw)
+    except ReproError as error:
+        raise ApiError(422, "invalid_sampling", str(error)) from error
+    raise ApiError(
+        422, "invalid_sampling",
+        "sample must be a 'STRIDE:WINDOW[:WARMUP]' string or a sampling "
+        "spec object",
+    )
 
 
 def validate_submission(payload) -> JobPlan:
@@ -228,6 +257,7 @@ def validate_submission(payload) -> JobPlan:
     priority = payload.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ApiError(422, "invalid_spec", "priority must be an integer")
+    sampling = _build_sampling(payload)
 
     if has_figure:
         figure = payload["figure"]
@@ -244,6 +274,8 @@ def validate_submission(payload) -> JobPlan:
                 f"(known: {', '.join(list(PLANNERS) + ['all'])})",
             )
         settings = _build_settings(payload)
+        if sampling is not None:
+            settings = dataclasses.replace(settings, sampling=sampling)
         spec = {
             "figure": figure,
             "settings": {
@@ -254,6 +286,10 @@ def validate_submission(payload) -> JobPlan:
             },
             "priority": priority,
         }
+        if sampling is not None:
+            # The echo must round-trip: resumed jobs re-validate their
+            # persisted spec, so the sampled plan has to rebuild exactly.
+            spec["sample"] = sampling.to_payload()
         # Planning validates the benchmark filter against each figure's
         # suites (a filter that excludes everything surfaces here), and
         # the points are kept on the plan so admission and execution
@@ -269,8 +305,13 @@ def validate_submission(payload) -> JobPlan:
     if not isinstance(raw_points, list) or not raw_points:
         raise ApiError(422, "invalid_spec",
                        "points must be a non-empty list of simulation points")
-    points = [_build_point(entry, index) for index, entry in enumerate(raw_points)]
+    points = [
+        _build_point(entry, index, sampling=sampling)
+        for index, entry in enumerate(raw_points)
+    ]
     spec = {"points": list(raw_points), "priority": priority}
+    if sampling is not None:
+        spec["sample"] = sampling.to_payload()
     return JobPlan(kind="points", points=points, spec=spec)
 
 

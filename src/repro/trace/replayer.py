@@ -39,10 +39,17 @@ class TraceReplayer:
         "icache_misses",
     )
 
-    def __init__(self, trace: DecodedTrace) -> None:
+    def __init__(self, trace: DecodedTrace, start_event: int = 0) -> None:
         self.trace = trace
         self._groups = trace.replay_groups()
-        self._next_event = 0
+        if not 0 <= start_event <= len(self._groups):
+            raise ValueError(
+                f"start_event {start_event} outside trace "
+                f"({len(self._groups)} fetch events)"
+            )
+        # Mid-stream replay (sampling windows, checkpoint resume): begin
+        # delivering at a fetch-event boundary instead of event 0.
+        self._next_event = start_event
         self._num_events = len(self._groups)
         self._stalled_until = -1
         self._blocked_seq: Optional[int] = None

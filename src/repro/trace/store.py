@@ -56,6 +56,9 @@ class TraceStore:
         self.cache_dir = cache_dir
         self.trace_dir = os.path.join(cache_dir, TRACE_SUBDIR) if cache_dir else None
         self._memory: Dict[str, DecodedTrace] = {}
+        # Generic JSON payloads (e.g. trace checkpoints) stored alongside
+        # traces; see ``put_payload`` / ``get_payload``.
+        self._payload_memory: Dict[str, dict] = {}
         # Concurrent SweepEngine.execute calls (service job threads) share
         # one trace store; exact counters keep /metrics hit rates honest.
         self._counter_lock = threading.Lock()
@@ -126,6 +129,55 @@ class TraceStore:
         with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
             handle.write(json.dumps(trace.to_payload()).encode("utf-8"))
         self._disk.put(trace.key, buffer.getvalue())
+
+    # ------------------------------------------------------------------
+    # generic payloads (trace checkpoints, other trace-derived artifacts)
+    # ------------------------------------------------------------------
+
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Record an arbitrary JSON payload under a content-hash key.
+
+        Shares the trace tiers (memory dict, sharded disk segments) and
+        the gzip-JSON encoding; callers own the key discipline — keys
+        must be content hashes that cannot collide with trace keys
+        (checkpoint keys hash a distinct ``kind`` tag).
+        """
+        self._payload_memory[key] = payload
+        with self._counter_lock:
+            self.stores += 1
+        if self._disk is None:
+            return
+        buffer = io.BytesIO()
+        with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+            handle.write(json.dumps(payload).encode("utf-8"))
+        self._disk.put(key, buffer.getvalue())
+
+    def get_payload(self, key: str) -> Optional[dict]:
+        """Fetch a payload stored with :meth:`put_payload`.
+
+        Absent, unreadable or corrupt entries are cache misses
+        (``None``) — identical quarantine semantics to traces.
+        """
+        payload = self._payload_memory.get(key)
+        if payload is not None:
+            with self._counter_lock:
+                self.memory_hits += 1
+            return payload
+        if self._disk is not None:
+            raw = self._disk.get(key)
+            if raw is not None:
+                try:
+                    payload = json.loads(gzip.decompress(raw).decode("utf-8"))
+                except (OSError, ValueError, EOFError, UnicodeDecodeError):
+                    payload = None
+                if isinstance(payload, dict):
+                    self._payload_memory[key] = payload
+                    with self._counter_lock:
+                        self.disk_hits += 1
+                    return payload
+        with self._counter_lock:
+            self.misses += 1
+        return None
 
     # ------------------------------------------------------------------
 

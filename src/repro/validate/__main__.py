@@ -15,6 +15,11 @@ observation fault; the run MUST report a divergence)::
 
     python -m repro.validate --seed 1 --inject-fault monolithic-1c:40
 
+Check the sampling engine's accuracy contract (full-run IPC must fall
+inside every sampled run's reported confidence interval)::
+
+    python -m repro.validate --sampled-accuracy
+
 Exit codes: 0 all architectures agree, 1 divergence detected, 2 usage
 or environment error.
 """
@@ -22,6 +27,7 @@ or environment error.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -69,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run each architecture with its own live frontend "
                              "instead of replaying one recorded decoded trace "
                              "(slower; results are bit-identical either way)")
+    parser.add_argument("--sampled-accuracy", action="store_true",
+                        help="instead of fuzzing, replay the architecture "
+                             "matrix both exactly and sampled and fail if any "
+                             "full-run IPC falls outside the sampled run's "
+                             "confidence interval")
+    parser.add_argument("--sample", default=None,
+                        metavar="STRIDE:WINDOW[:WARMUP]",
+                        help="sampling spec for --sampled-accuracy "
+                             "(default: the pinned, verified spec)")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="trace length for --sampled-accuracy "
+                             "(default: the pinned, verified length)")
     return parser
 
 
@@ -80,6 +98,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:28s} {type(factory).__name__}")
         return 0
 
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(message, file=sys.stderr, flush=True)
+
+    if args.sampled_accuracy:
+        from repro.sampling import parse_sampling
+        from repro.validate.sampled import run_sampled_accuracy
+
+        try:
+            spec = (parse_sampling(args.sample)
+                    if args.sample is not None else None)
+            kwargs = {}
+            if args.instructions is not None:
+                kwargs["instructions"] = args.instructions
+            report = run_sampled_accuracy(
+                spec=spec, name_filter=args.name_filter,
+                progress=progress, **kwargs,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        if args.json_path:
+            try:
+                with open(args.json_path, "w", encoding="utf-8") as handle:
+                    json.dump(report.to_payload(), handle, indent=2,
+                              sort_keys=True)
+                    handle.write("\n")
+            except OSError as error:
+                print(f"error: cannot write report: {error}", file=sys.stderr)
+                return 2
+            progress(f"wrote {args.json_path}")
+        return 0 if report.ok else 1
+
     if args.seed_list:
         seeds = list(args.seed_list)
     else:
@@ -90,10 +142,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.checkpoint_interval <= 0:
         print("error: --checkpoint-interval must be positive", file=sys.stderr)
         return 2
-
-    def progress(message: str) -> None:
-        if not args.quiet:
-            print(message, file=sys.stderr, flush=True)
 
     try:
         fault = (

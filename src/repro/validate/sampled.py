@@ -1,0 +1,180 @@
+"""Sampled-vs-full accuracy validation.
+
+The sampling engine (:mod:`repro.sampling`) reports IPC as a mean with
+a confidence interval instead of an exact number.  That interval is
+only useful if it is *honest*: the full-run IPC must actually fall
+inside it.  This module turns that contract into a gate — it replays
+one deterministic trace through the whole differential architecture
+matrix twice, once exactly and once sampled, and fails any
+architecture whose full-run IPC lands outside the sampled run's
+reported interval.
+
+Because the synthetic workloads are pure functions of their seed, the
+whole check is deterministic: a (trace length, sampling spec) pair
+that passes once passes always, so the gate is CI-stable by
+construction — there is no statistical flake to tolerate.
+
+Run it from the CLI::
+
+    python -m repro.validate --sampled-accuracy
+    python -m repro.validate --sampled-accuracy --sample 2500:250:250
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.pipeline.config import ProcessorConfig
+from repro.sampling import SamplingSpec, sampled_simulate
+from repro.trace import record_trace, replay_simulate
+from repro.validate.differential import filter_matrix, validation_matrix
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Default deterministic scenario for the accuracy gate.  These values
+#: are pinned because the check is exact, not statistical: this spec
+#: was verified to satisfy the containment contract on every
+#: architecture of the matrix at this trace length.
+DEFAULT_BENCHMARK = "gcc"
+DEFAULT_INSTRUCTIONS = 24000
+DEFAULT_SPEC = SamplingSpec(stride=1500, window=400, warmup=600)
+
+
+@dataclass
+class ArchitectureAccuracy:
+    """Sampled-vs-full comparison for one architecture."""
+
+    architecture: str
+    full_ipc: float
+    sampled_mean: float
+    half_width: float
+    windows: int
+    detailed_instructions: int
+    ok: bool
+
+    def to_payload(self) -> dict:
+        return {
+            "architecture": self.architecture,
+            "full_ipc": round(self.full_ipc, 6),
+            "sampled_mean": round(self.sampled_mean, 6),
+            "ci_half_width": round(self.half_width, 6),
+            "ci_low": round(self.sampled_mean - self.half_width, 6),
+            "ci_high": round(self.sampled_mean + self.half_width, 6),
+            "windows": self.windows,
+            "detailed_instructions": self.detailed_instructions,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class SampledAccuracyReport:
+    """Full matrix sweep of the containment check."""
+
+    benchmark: str
+    instructions: int
+    spec: SamplingSpec
+    results: List[ArchitectureAccuracy] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "sampled-accuracy",
+            "benchmark": self.benchmark,
+            "instructions": self.instructions,
+            "sampling": self.spec.to_payload(),
+            "ok": self.ok,
+            "architectures": [r.to_payload() for r in self.results],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "sampled-vs-full accuracy "
+            f"({self.benchmark}, {self.instructions} instructions, "
+            f"spec {self.spec.label()}, "
+            f"{int(self.spec.confidence * 100)}% confidence)",
+            "",
+            f"{'architecture':28s} {'full IPC':>9s} "
+            f"{'sampled':>9s} {'±hw':>7s} {'windows':>7s}  verdict",
+        ]
+        for result in self.results:
+            verdict = "ok" if result.ok else "OUTSIDE INTERVAL"
+            lines.append(
+                f"{result.architecture:28s} {result.full_ipc:9.4f} "
+                f"{result.sampled_mean:9.4f} {result.half_width:7.4f} "
+                f"{result.windows:7d}  {verdict}"
+            )
+        passed = sum(1 for r in self.results if r.ok)
+        lines.append("")
+        lines.append(
+            f"{'PASS' if self.ok else 'FAIL'}: {passed}/{len(self.results)} "
+            "architectures have full-run IPC inside the sampled interval"
+        )
+        return "\n".join(lines)
+
+
+def run_sampled_accuracy(
+    benchmark: str = DEFAULT_BENCHMARK,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    spec: Optional[SamplingSpec] = None,
+    name_filter: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SampledAccuracyReport:
+    """Replay the architecture matrix both ways and check containment.
+
+    One decoded trace is recorded from the deterministic synthetic
+    ``benchmark`` and shared by every run, so the exact and sampled
+    passes of each architecture consume bit-identical instruction
+    streams; the only difference is which instructions get detailed
+    timing.
+    """
+    spec = spec if spec is not None else DEFAULT_SPEC
+    matrix: Dict[str, object] = filter_matrix(validation_matrix(), name_filter)
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    config = ProcessorConfig(max_instructions=instructions)
+    workload = SyntheticWorkload(get_profile(benchmark))
+    say(f"recording {benchmark} trace ({instructions} instructions)...")
+    trace = record_trace(
+        benchmark,
+        workload.instructions(instructions),
+        config,
+        {
+            "kind": "sampled-accuracy",
+            "benchmark": benchmark,
+            "instructions": instructions,
+        },
+    )
+
+    report = SampledAccuracyReport(
+        benchmark=benchmark, instructions=instructions, spec=spec
+    )
+    for name, factory in matrix.items():
+        say(f"checking {name}...")
+        full = replay_simulate(trace, factory, config, benchmark_name=benchmark)
+        sampled = sampled_simulate(
+            trace, factory, config, spec, benchmark_name=benchmark
+        )
+        sampling = sampled.sampling or {}
+        mean = float(sampling.get("ipc_mean", sampled.ipc))
+        half_width = float(sampling.get("ci_half_width", 0.0))
+        report.results.append(
+            ArchitectureAccuracy(
+                architecture=name,
+                full_ipc=full.ipc,
+                sampled_mean=mean,
+                half_width=half_width,
+                windows=int(sampling.get("windows", 0)),
+                detailed_instructions=int(
+                    sampling.get("detailed_instructions", 0)
+                ),
+                ok=mean - half_width <= full.ipc <= mean + half_width,
+            )
+        )
+    return report

@@ -83,7 +83,7 @@ class TestRunnerAndReport:
     def test_runner_produces_schema_versioned_report(self, tmp_path):
         scenario = with_budget(headline_scenario(quick=True), 300)
         runner = BenchmarkRunner(quick=True, repeats=1, simulations=[scenario],
-                                 sweeps=[], services=[], stores=[],
+                                 sweeps=[], sampled_sweeps=[], services=[], stores=[],
                                  include_components=False)
         report = runner.run(index=7)
         assert report.schema == 1
@@ -212,7 +212,7 @@ class TestCli:
         """Two runs of the same scenario must agree on the stats digest."""
         scenario = with_budget(headline_scenario(quick=True), 200)
         runner = BenchmarkRunner(repeats=1, simulations=[scenario],
-                                 sweeps=[], services=[], stores=[],
+                                 sweeps=[], sampled_sweeps=[], services=[], stores=[],
                                  include_components=False)
         first = runner.run(index=1).scenarios[0].stats_digest
         second = runner.run(index=2).scenarios[0].stats_digest
@@ -241,7 +241,7 @@ class TestCli:
                               instructions=300, use_trace_replay=True,
                               headline_sweep=True)
         runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[sweep],
-                                 services=[], stores=[],
+                                 sampled_sweeps=[], services=[], stores=[],
                                  include_components=False)
         report = runner.run(index=1)
         [result] = report.scenarios
@@ -262,7 +262,8 @@ class TestStoreScenario:
 
     def test_store_result_in_report(self):
         runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[],
-                                 services=[], stores=[self._scenario()],
+                                 sampled_sweeps=[], services=[],
+                                 stores=[self._scenario()],
                                  include_components=False)
         report = runner.run(index=1)
         [result] = report.scenarios
@@ -290,3 +291,53 @@ class TestStoreScenario:
     def test_deterministic_digest(self):
         scenario = self._scenario()
         assert scenario.run()["stats_digest"] == scenario.run()["stats_digest"]
+
+
+class TestSampledSweepScenario:
+    def _scenario(self):
+        from repro.bench.scenarios import SampledSweepScenario
+
+        return SampledSweepScenario(
+            name="sweep/gcc/sampled-vs-exact",
+            profile="gcc",
+            instructions=2000,
+            sample="500:100:100",
+            architectures=("mono-1c",),
+        )
+
+    def test_outcome_reports_speedup_and_interval(self):
+        outcome = self._scenario().run()
+        assert outcome["points"] == 1  # one architecture, measured both ways
+        assert outcome["summary"]["architectures"] == ["mono-1c"]
+        assert outcome["summary"]["exact_points"] == 1
+        assert outcome["summary"]["sampled_points"] == 1
+        assert outcome["per_point_speedup"] > 0
+        assert outcome["sampling"]["stride"] == 500
+        assert outcome["exact_seconds"] > 0 and outcome["sampled_seconds"] > 0
+
+    def test_quick_and_full_share_the_gate_name(self):
+        from repro.bench.scenarios import sampled_sweep_scenarios
+
+        (quick,) = sampled_sweep_scenarios(quick=True)
+        (full,) = sampled_sweep_scenarios(quick=False)
+        assert quick.name == full.name == "sweep/gcc/sampled-vs-exact"
+        # Quick mode shrinks the architecture set, never the stream: the
+        # stride plan needs the full instruction budget to place windows.
+        assert len(quick.architectures) < len(full.architectures)
+        assert quick.instructions == full.instructions
+
+    def test_deterministic_digest(self):
+        assert (self._scenario().run()["stats_digest"]
+                == self._scenario().run()["stats_digest"])
+
+    def test_runner_copies_sampling_metadata(self):
+        runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[],
+                                 sampled_sweeps=[self._scenario()],
+                                 services=[], stores=[],
+                                 include_components=False)
+        report = runner.run(index=1)
+        (result,) = report.scenarios
+        assert result.kind == "sweep"
+        for field in ("exact_seconds", "sampled_seconds",
+                      "per_point_speedup", "sampling", "summary"):
+            assert field in result.metadata

@@ -1,0 +1,176 @@
+"""Trace checkpoints: round-trip, quarantine, and mid-stream resume.
+
+Locks down the two properties the checkpoint docstring promises:
+
+* a resumed run's commit stream is exactly the ``instructions[pos:]``
+  suffix of the full run's stream, and merging the resumed run's final
+  architectural snapshot over the checkpoint's ``register_state``
+  recovers the full run's final state;
+* stored checkpoints survive a disk round-trip through the sharded
+  :class:`TraceStore`, and corrupt or mismatched entries load as cache
+  misses (``None``), never as errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.pipeline.config import ProcessorConfig
+from repro.sampling import SamplingSpec
+from repro.sampling.checkpoint import (
+    TraceCheckpoint,
+    build_checkpoint,
+    build_checkpoints,
+    checkpoint_key,
+    load_checkpoint,
+    resume_simulate,
+    store_checkpoint,
+)
+from repro.sampling.engine import event_offsets, window_plan
+from repro.trace import record_trace, replay_simulate
+from repro.trace.store import TraceStore
+from repro.validate.differential import validation_matrix
+from repro.validate.observer import CommitObserver
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import SyntheticWorkload
+
+N = 1500
+
+
+@pytest.fixture(scope="module")
+def gcc_trace():
+    config = ProcessorConfig(max_instructions=N)
+    stream = SyntheticWorkload(get_profile("gcc")).instructions(N)
+    return record_trace("gcc", stream, config,
+                        {"kind": "checkpoint-test", "benchmark": "gcc",
+                         "instructions": N})
+
+
+class TestBuild:
+    def test_position_snaps_forward_to_an_event_boundary(self, gcc_trace):
+        checkpoint = build_checkpoint(gcc_trace, 700, warmup=200)
+        offsets = event_offsets(gcc_trace)
+        assert checkpoint.position in offsets
+        assert checkpoint.position >= 700
+        assert offsets[checkpoint.event_index] == checkpoint.position
+        assert checkpoint.warmup_start == checkpoint.position - 200
+        assert checkpoint.trace_key == gcc_trace.key
+
+    def test_register_state_is_the_youngest_writer_map(self, gcc_trace):
+        checkpoint = build_checkpoint(gcc_trace, 700, warmup=200)
+        expected = {}
+        for instruction in gcc_trace.instructions[:checkpoint.position]:
+            if instruction.dest is not None:
+                expected[str(instruction.dest)] = instruction.seq
+        assert checkpoint.register_state == expected
+
+    def test_past_the_end_is_an_error(self, gcc_trace):
+        with pytest.raises(SimulationError, match="past the last fetch event"):
+            build_checkpoint(gcc_trace, N + 1, warmup=0)
+        with pytest.raises(SimulationError, match="negative"):
+            build_checkpoint(gcc_trace, -1, warmup=0)
+
+    def test_build_checkpoints_matches_the_window_plan(self, gcc_trace):
+        spec = SamplingSpec(stride=400, window=100, warmup=150)
+        checkpoints = build_checkpoints(gcc_trace, spec)
+        plan = window_plan(gcc_trace, spec)
+        assert [(c.event_index, c.position) for c in checkpoints] == plan
+        for checkpoint in checkpoints:
+            assert checkpoint.warmup_start == max(0, checkpoint.position - 150)
+
+
+class TestSerialization:
+    def test_payload_round_trip(self, gcc_trace):
+        checkpoint = build_checkpoint(gcc_trace, 500, warmup=100)
+        assert TraceCheckpoint.from_payload(checkpoint.to_payload()) == checkpoint
+
+    def test_schema_mismatch_raises(self, gcc_trace):
+        payload = build_checkpoint(gcc_trace, 500, warmup=100).to_payload()
+        payload["schema"] = 999
+        with pytest.raises(SimulationError, match="schema"):
+            TraceCheckpoint.from_payload(payload)
+        with pytest.raises(SimulationError):
+            TraceCheckpoint.from_payload("not a dict")
+
+    @pytest.mark.parametrize("mutation", [
+        {"position": -1},
+        {"warmup_start": 10_000_000},
+        {"register_state": None},
+    ])
+    def test_malformed_payloads_raise(self, gcc_trace, mutation):
+        payload = build_checkpoint(gcc_trace, 500, warmup=100).to_payload()
+        payload.update(mutation)
+        with pytest.raises(SimulationError):
+            TraceCheckpoint.from_payload(payload)
+
+
+class TestStoreRoundTrip:
+    def test_store_and_load_through_a_fresh_store(self, gcc_trace, tmp_path):
+        checkpoint = build_checkpoint(gcc_trace, 500, warmup=100)
+        store = TraceStore(cache_dir=str(tmp_path))
+        store_checkpoint(store, checkpoint)
+        assert load_checkpoint(store, gcc_trace.key,
+                               checkpoint.position) == checkpoint
+        # A fresh store instance forces the disk tier.
+        reopened = TraceStore(cache_dir=str(tmp_path))
+        assert load_checkpoint(reopened, gcc_trace.key,
+                               checkpoint.position) == checkpoint
+
+    def test_absent_checkpoint_is_a_miss(self, gcc_trace, tmp_path):
+        store = TraceStore(cache_dir=str(tmp_path))
+        assert load_checkpoint(store, gcc_trace.key, 500) is None
+
+    def test_corrupt_checkpoint_quarantines_as_miss(self, gcc_trace, tmp_path):
+        checkpoint = build_checkpoint(gcc_trace, 500, warmup=100)
+        store = TraceStore(cache_dir=str(tmp_path))
+        store.put_payload(checkpoint.key, {"schema": 999, "garbage": True})
+        assert load_checkpoint(store, gcc_trace.key,
+                               checkpoint.position) is None
+
+    def test_key_mismatched_payload_is_a_miss(self, gcc_trace, tmp_path):
+        """A payload stored under the wrong content key never loads —
+        the embedded (trace_key, position) must match the request."""
+        checkpoint = build_checkpoint(gcc_trace, 500, warmup=100)
+        store = TraceStore(cache_dir=str(tmp_path))
+        other_key = checkpoint_key(gcc_trace.key, checkpoint.position + 777)
+        store.put_payload(other_key, checkpoint.to_payload())
+        assert load_checkpoint(store, gcc_trace.key,
+                               checkpoint.position + 777) is None
+
+
+class TestResume:
+    @pytest.mark.parametrize("name", ["rfc-non-bypass",
+                                      "monolithic-2c-full-bypass"])
+    def test_resumed_commit_stream_is_the_suffix(self, gcc_trace, name):
+        factory = validation_matrix()[name]
+        config = ProcessorConfig(max_instructions=N)
+        full_observer = CommitObserver()
+        full = replay_simulate(gcc_trace, factory, config,
+                               benchmark_name="gcc",
+                               commit_observer=full_observer)
+        assert full.committed_instructions == N
+
+        checkpoint = build_checkpoint(gcc_trace, 700, warmup=200)
+        resumed_observer = CommitObserver()
+        resumed = resume_simulate(gcc_trace, checkpoint, factory, config,
+                                  benchmark_name="gcc",
+                                  commit_observer=resumed_observer)
+        assert resumed.committed_instructions == N - checkpoint.position
+        full_log = full_observer.accumulator.log
+        assert (resumed_observer.accumulator.log
+                == full_log[checkpoint.position:])
+
+        merged = dict(checkpoint.register_state)
+        merged.update(resumed_observer.accumulator.state_snapshot())
+        assert merged == full_observer.accumulator.state_snapshot()
+
+    def test_wrong_trace_is_rejected(self, gcc_trace):
+        checkpoint = build_checkpoint(gcc_trace, 500, warmup=100)
+        imposter = dataclasses.replace(checkpoint, trace_key="0" * 64)
+        factory = validation_matrix()["monolithic-1c"]
+        config = ProcessorConfig(max_instructions=N)
+        with pytest.raises(SimulationError, match="checkpoint is for trace"):
+            resume_simulate(gcc_trace, imposter, factory, config)

@@ -342,3 +342,43 @@ class TestDrain:
         app.stop(drain=True)  # must wait for the in-flight job
         assert app.get_job(job.id).state in (COMPLETED, FAILED)
         assert app.get_job(job.id).state == COMPLETED
+
+
+class TestSamplingAdmission:
+    """The optional ``sample`` key: structured rejection, exact echo."""
+
+    @pytest.mark.parametrize("sample, fragment", [
+        ("400:1500", "window"),          # window exceeds the stride
+        ("a:b", "colon-separated"),
+        ("10", "STRIDE:WINDOW"),
+        ({"stride": 10}, "missing required"),
+        ({"stride": 10, "window": 5, "bogus": 1}, "unknown sampling"),
+        (123, "must be a"),              # neither string nor object
+    ])
+    def test_invalid_sample_is_a_structured_422(self, sample, fragment):
+        with pytest.raises(ApiError) as excinfo:
+            validate_submission({**POINT_SPEC, "sample": sample})
+        assert excinfo.value.status == 422
+        assert excinfo.value.code == "invalid_sampling"
+        assert fragment in excinfo.value.message
+        # The wire form carries the code for clients to branch on.
+        assert excinfo.value.to_dict()["error"]["code"] == "invalid_sampling"
+
+    def test_valid_sample_string_echoes_the_resolved_spec(self):
+        from repro.sampling import SamplingSpec
+
+        plan = validate_submission({**POINT_SPEC, "sample": "1000:100:200"})
+        expected = SamplingSpec(stride=1000, window=100, warmup=200)
+        assert plan.spec["sample"] == expected.to_payload()
+        assert all(point.sampling == expected for point in plan.points)
+        # The echo must round-trip: restarted services re-validate the
+        # persisted spec, so re-admitting it rebuilds the same plan.
+        replan = validate_submission(plan.spec)
+        assert replan.spec["sample"] == expected.to_payload()
+        assert all(point.sampling == expected for point in replan.points)
+
+    def test_null_and_absent_sample_mean_exact_runs(self):
+        for payload in (POINT_SPEC, {**POINT_SPEC, "sample": None}):
+            plan = validate_submission(payload)
+            assert "sample" not in plan.spec
+            assert all(point.sampling is None for point in plan.points)

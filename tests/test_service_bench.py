@@ -18,7 +18,8 @@ class TestServiceScenario:
             benchmarks=("gcc",),
         )
         runner = BenchmarkRunner(repeats=1, simulations=[], sweeps=[],
-                                 services=[scenario], stores=[],
+                                 sampled_sweeps=[], services=[scenario],
+                                 stores=[],
                                  include_components=False)
         report = runner.run(index=1)
         [result] = report.scenarios

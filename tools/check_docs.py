@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Docs drift gate: dead links and undocumented CLI flags.
+
+Two checks, both stdlib-only, run by the CI ``docs`` job (and runnable
+locally with ``python tools/check_docs.py``):
+
+1. **Links** — every intra-repository markdown link in ``docs/*.md``
+   and ``README.md`` must resolve to an existing file (external
+   ``http(s)``/``mailto`` links and pure ``#anchor`` links are
+   skipped; a fragment on a file link is stripped before resolving).
+2. **CLI flags** — every ``--flag`` a subsystem CLI defines (parsed
+   from its live ``--help`` output, so the check cannot go stale) must
+   be mentioned, verbatim, in that subsystem's document.  A new flag
+   without documentation, or a renamed flag leaving a stale mention
+   behind a dead name, fails the build.
+
+Exit codes: 0 clean, 1 drift found, 2 environment error (a CLI's
+``--help`` could not be produced).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: (module, subcommand or None, doc that must mention its flags).
+CLI_DOC_MAP = [
+    ("repro.experiments.runner", None, "docs/experiments.md"),
+    ("repro.validate", None, "docs/validation.md"),
+    ("repro.sampling", None, "docs/sampling.md"),
+    ("repro.bench", None, "docs/benchmarking.md"),
+    ("repro.bench", "compare", "docs/benchmarking.md"),
+    ("repro.service", "serve", "docs/service.md"),
+    ("repro.service", "submit", "docs/service.md"),
+    ("repro.service", "status", "docs/service.md"),
+    ("repro.service", "result", "docs/service.md"),
+    ("repro.service", "watch", "docs/service.md"),
+    ("repro.service", "metrics", "docs/service.md"),
+    ("repro.service", "health", "docs/service.md"),
+]
+
+#: Markdown inline links: [text](target).  Reference-style links and
+#: autolinks are not used in this repository's docs.
+_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+
+#: A flag *definition* line in argparse help output: the option name at
+#: the start of an indented line (possibly after a short option).
+_FLAG_DEF = re.compile(r"^\s+(?:-\w,\s+)?(--[a-z][a-z0-9-]*)", re.MULTILINE)
+
+
+def _doc_files() -> list:
+    docs_dir = os.path.join(ROOT, "docs")
+    files = sorted(
+        os.path.join(docs_dir, name)
+        for name in os.listdir(docs_dir)
+        if name.endswith(".md")
+    )
+    files.append(os.path.join(ROOT, "README.md"))
+    return files
+
+
+def check_links() -> list:
+    """Return one problem string per unresolvable intra-repo link."""
+    problems = []
+    for path in _doc_files():
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        rel = os.path.relpath(path, ROOT)
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            target = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if not os.path.exists(resolved):
+                problems.append(f"{rel}: dead link -> {match.group(1)}")
+    return problems
+
+
+def cli_flags(module: str, subcommand: str) -> list:
+    """The --flags ``python -m module [subcommand] --help`` defines."""
+    argv = [sys.executable, "-m", module]
+    if subcommand:
+        argv.append(subcommand)
+    argv.append("--help")
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        argv, capture_output=True, text=True, timeout=60, env=env, cwd=ROOT
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{' '.join(argv[1:])} exited {proc.returncode}: "
+            f"{proc.stderr.strip()[:200]}"
+        )
+    flags = sorted(set(_FLAG_DEF.findall(proc.stdout)))
+    return [flag for flag in flags if flag != "--help"]
+
+
+def check_flags() -> list:
+    """Return one problem string per CLI flag missing from its doc."""
+    problems = []
+    doc_cache = {}
+    for module, subcommand, doc in CLI_DOC_MAP:
+        if doc not in doc_cache:
+            with open(os.path.join(ROOT, doc), "r", encoding="utf-8") as handle:
+                doc_cache[doc] = handle.read()
+        text = doc_cache[doc]
+        label = f"python -m {module}" + (f" {subcommand}" if subcommand else "")
+        for flag in cli_flags(module, subcommand):
+            if flag not in text:
+                problems.append(f"{doc}: `{label}` flag {flag} undocumented")
+    return problems
+
+
+def main() -> int:
+    try:
+        problems = check_links() + check_flags()
+    except (RuntimeError, subprocess.SubprocessError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(problem)
+    docs = len(_doc_files())
+    clis = len(CLI_DOC_MAP)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s) across "
+              f"{docs} documents / {clis} CLIs")
+        return 1
+    print(f"check_docs: OK ({docs} documents, {clis} CLI surfaces, "
+          "no dead links, no undocumented flags)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
