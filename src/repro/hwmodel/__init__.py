@@ -27,6 +27,7 @@ from repro.hwmodel.pareto import (
     enumerate_single_banked,
     enumerate_register_file_cache,
 )
+from repro.hwmodel.evaluate import area_units, evaluate, geometry_payload
 
 __all__ = [
     "RegisterFileGeometry",
@@ -42,4 +43,7 @@ __all__ = [
     "pareto_frontier",
     "enumerate_single_banked",
     "enumerate_register_file_cache",
+    "area_units",
+    "evaluate",
+    "geometry_payload",
 ]

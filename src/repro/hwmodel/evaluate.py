@@ -1,0 +1,74 @@
+"""Joining simulation statistics with the analytical area model.
+
+The search autopilot (:mod:`repro.search`) optimizes over *both* axes of
+the paper's trade-off: IPC comes from the cycle-accurate simulator, area
+from the analytical geometry models of this package.  This module is the
+adapter between the two — given any register-file geometry it answers
+"how much area", and given a geometry plus simulation stats it produces
+the flat ``{ipc, area_units, ...}`` record objectives are scored on.
+
+``area_units`` sums every bank of the design: a single-banked file is
+its one bank, a register file cache is the upper bank (write ports
+include one per bus) plus the lower bank (read ports are the buses), as
+in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import ModelError
+from repro.hwmodel.area import RegisterFileGeometry
+from repro.hwmodel.configurations import RegisterFileCacheGeometry
+
+#: Any geometry the area model can price.
+Geometry = Union[RegisterFileGeometry, RegisterFileCacheGeometry]
+
+
+def area_units(geometry: Geometry) -> float:
+    """Total area of ``geometry`` in the paper's 10Kλ² units, all banks summed."""
+    if isinstance(geometry, (RegisterFileGeometry, RegisterFileCacheGeometry)):
+        return geometry.area_units()
+    raise ModelError(
+        f"cannot compute an area for {type(geometry).__name__!r} "
+        f"(expected RegisterFileGeometry or RegisterFileCacheGeometry)"
+    )
+
+
+def geometry_payload(geometry: Geometry) -> dict:
+    """JSON-serializable description of ``geometry`` for search reports."""
+    if isinstance(geometry, RegisterFileCacheGeometry):
+        return {
+            "kind": "register-file-cache",
+            "upper_registers": geometry.upper_registers,
+            "lower_registers": geometry.lower_registers,
+            "upper_read_ports": geometry.upper_read_ports,
+            "upper_write_ports": geometry.upper_write_ports,
+            "lower_write_ports": geometry.lower_write_ports,
+            "buses": geometry.buses,
+        }
+    if isinstance(geometry, RegisterFileGeometry):
+        return {
+            "kind": "single-banked",
+            "num_registers": geometry.num_registers,
+            "read_ports": geometry.read_ports,
+            "write_ports": geometry.write_ports,
+        }
+    raise ModelError(
+        f"cannot describe geometry {type(geometry).__name__!r}"
+    )
+
+
+def evaluate(stats, geometry: Geometry) -> dict:
+    """The flat evaluation record search objectives score.
+
+    ``stats`` is anything with an ``ipc`` attribute (a
+    :class:`~repro.pipeline.stats.SimulationStats`, exact or sampled);
+    ``geometry`` prices the design point.  Floats are rounded to six
+    decimals so reports are byte-stable across platforms.
+    """
+    return {
+        "ipc": round(float(stats.ipc), 6),
+        "area_units": round(area_units(geometry), 6),
+        "geometry": geometry_payload(geometry),
+    }

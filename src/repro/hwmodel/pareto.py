@@ -32,15 +32,25 @@ def pareto_frontier(points: Iterable[DesignPoint]) -> List[DesignPoint]:
     """Keep only non-dominated points (lower cost and higher value win).
 
     A point is dominated if another point has cost <= its cost and
-    value >= its value, with at least one strict inequality.
+    value >= its value, with at least one strict inequality.  Points tied
+    on *both* cost and value dominate nothing and are all kept — distinct
+    configurations landing on the same (area, IPC) spot are equally
+    optimal and a search must report every one of them, not an arbitrary
+    winner.
     """
     candidates = sorted(points, key=lambda point: (point.cost, -point.value))
     frontier: List[DesignPoint] = []
     best_value = float("-inf")
+    best_cost = float("-inf")
     for point in candidates:
         if point.value > best_value:
             frontier.append(point)
             best_value = point.value
+            best_cost = point.cost
+        elif point.value == best_value and point.cost == best_cost:
+            # Exact (cost, value) tie with the frontier's current corner:
+            # neither point dominates the other (no strict inequality).
+            frontier.append(point)
     return frontier
 
 
@@ -67,9 +77,14 @@ def enumerate_register_file_cache(
 ) -> List[RegisterFileCacheGeometry]:
     """Candidate geometries for the register file cache.
 
-    The full cross product is large; callers typically restrict the ranges
-    (the experiments tie the lower write ports to the upper write ports to
-    keep the sweep close to the paper's).
+    Enumerates the full ``upper_read × upper_write × lower_write × bus``
+    cross product over the given ranges; this function itself ties
+    nothing together.  The cross product grows fast, so callers restrict
+    the ranges they pass: the search space builder
+    (:mod:`repro.search.space`) defaults ``lower_write_range`` to the
+    upper-write range so the enumeration stays close to the paper's
+    Figure 8 sweep, where the lower bank has as many write ports as the
+    upper bank.
     """
     return [
         RegisterFileCacheGeometry(

@@ -58,13 +58,16 @@ from repro.sampling.engine import (
     window_plan,
 )
 from repro.sampling.spec import (
+    MIN_SAMPLED_STREAM,
     SUPPORTED_CONFIDENCE_LEVELS,
     SamplingSpec,
     parse_sampling,
+    quick_sampling,
 )
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
+    "MIN_SAMPLED_STREAM",
     "SUPPORTED_CONFIDENCE_LEVELS",
     "SamplingSpec",
     "TraceCheckpoint",
@@ -75,6 +78,7 @@ __all__ = [
     "functional_warmup",
     "load_checkpoint",
     "parse_sampling",
+    "quick_sampling",
     "resume_simulate",
     "sampled_simulate",
     "store_checkpoint",

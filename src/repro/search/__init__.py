@@ -1,0 +1,48 @@
+"""Config-space search autopilot over the sweep engine.
+
+The paper is a trade-off study — IPC against register-file area — and
+this package turns the repo's fixed figure grids into an optimizer: a
+search request names a **space** of register-file configurations, an
+**objective** (``max ipc``, ``min area`` or ``pareto ipc-vs-area``) and
+optional **constraints**, and the driver runs successive halving over
+sampled-budget rungs until an exact-simulation frontier falls out.
+
+Every evaluation is a regular
+:class:`~repro.experiments.scheduler.SimulationPoint` executed through
+the shared :class:`~repro.experiments.scheduler.SweepEngine`, so
+searches inherit the whole storage/fleet stack: results persist in the
+sharded store, identical in-flight points are single-flighted within
+and across replicas, and a repeated search is pure cache hits with a
+byte-identical report.
+
+Exposed on the service as ``POST /search`` (see
+:mod:`repro.service.server`) and on the CLI as
+``python -m repro.service search`` / ``frontier``; usable directly via
+:func:`run_search` for library callers.
+"""
+
+from repro.search.driver import (
+    SEARCH_SCHEMA_VERSION,
+    SearchSpec,
+    run_search,
+)
+from repro.search.objectives import (
+    Constraints,
+    Objective,
+    parse_constraints,
+    parse_objective,
+)
+from repro.search.space import Candidate, SearchSpace, build_space
+
+__all__ = [
+    "SEARCH_SCHEMA_VERSION",
+    "SearchSpec",
+    "run_search",
+    "Constraints",
+    "Objective",
+    "parse_constraints",
+    "parse_objective",
+    "Candidate",
+    "SearchSpace",
+    "build_space",
+]

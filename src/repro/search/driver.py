@@ -1,0 +1,397 @@
+"""The successive-halving search driver.
+
+:class:`SearchSpec` is the validated form of one ``POST /search``
+request; :func:`run_search` executes it against a shared
+:class:`~repro.experiments.scheduler.SweepEngine` and returns a
+schema-versioned report.
+
+The optimizer is successive halving over *budget rungs*: every active
+candidate is first scored under a cheap sampled budget (derived
+deterministically from the instruction budget via
+:func:`repro.sampling.spec.quick_sampling`), the best
+``ceil(n / eta)`` survive to the next rung, and the final rung always
+re-evaluates the survivors with **exact** simulation — the reported
+frontier never rests on an estimate.  Every evaluation goes through the
+engine's two-level single-flight dedup and the shared result store, so
+a repeated search (or one overlapping a previous figure sweep) executes
+nothing and reproduces its report byte for byte.
+
+The report deliberately contains **no timestamps or durations**: a
+warm-cache re-run must be byte-identical.  Wall-clock counters live in
+the job record's ``counters`` section instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import harmonic_mean
+from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.hwmodel.evaluate import evaluate
+from repro.hwmodel.pareto import DesignPoint, pareto_frontier
+from repro.pipeline.config import ProcessorConfig
+from repro.sampling.spec import SamplingSpec, quick_sampling
+from repro.search.objectives import (
+    Constraints,
+    Objective,
+    parse_constraints,
+    parse_objective,
+    rank_scores,
+    select_survivors,
+)
+from repro.search.space import Candidate, SearchSpace, build_space
+
+#: Search report schema; bump on layout changes.
+SEARCH_SCHEMA_VERSION = 1
+
+#: Ceiling on sampled rungs before the exact rung.
+MAX_RUNGS = 3
+
+#: Default benchmarks a search evaluates when the request names none.
+DEFAULT_BENCHMARKS = ("gcc",)
+
+DEFAULT_INSTRUCTIONS = 2_000
+
+
+def _int_field(payload: dict, name: str, default: int, minimum: int,
+               maximum: Optional[int] = None) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ConfigurationError(
+            f"search {name} must be an integer >= {minimum}"
+        )
+    if maximum is not None and value > maximum:
+        raise ConfigurationError(
+            f"search {name} must be at most {maximum}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """One validated search request."""
+
+    space: SearchSpace
+    objective: Objective
+    constraints: Constraints
+    benchmarks: Tuple[str, ...]
+    instructions: int
+    warmup_instructions: int
+    rungs: int
+    eta: int
+    min_survivors: int
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_payload(cls, payload) -> "SearchSpec":
+        """Validate a raw ``POST /search`` body (raises ConfigurationError)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError("search spec must be a JSON object")
+        known = {"space", "objective", "constraints", "benchmarks",
+                 "instructions", "warmup_instructions", "rungs", "eta",
+                 "min_survivors"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown search field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        if "space" not in payload:
+            raise ConfigurationError("search spec needs a 'space'")
+        space = build_space(payload["space"])
+        objective = parse_objective(payload.get("objective", "pareto ipc-vs-area"))
+        constraints = parse_constraints(payload.get("constraints"))
+        benchmarks = payload.get("benchmarks", list(DEFAULT_BENCHMARKS))
+        if (not isinstance(benchmarks, list) and
+                not isinstance(benchmarks, tuple)) or not benchmarks or not all(
+                isinstance(name, str) and name for name in benchmarks):
+            raise ConfigurationError(
+                "search benchmarks must be a non-empty list of benchmark names"
+            )
+        # Surface bad benchmark names at admission, not mid-search.
+        from repro.workloads.profiles import get_profile
+
+        deduped = list(dict.fromkeys(benchmarks))
+        try:
+            for name in deduped:
+                get_profile(name)
+        except ReproError as error:
+            raise ConfigurationError(str(error)) from error
+        instructions = _int_field(payload, "instructions",
+                                  DEFAULT_INSTRUCTIONS, minimum=1)
+        warmup = _int_field(payload, "warmup_instructions", 0, minimum=0)
+        rungs = _int_field(payload, "rungs", 1, minimum=0, maximum=MAX_RUNGS)
+        eta = _int_field(payload, "eta", 2, minimum=2)
+        min_survivors = _int_field(payload, "min_survivors", 2, minimum=1)
+        return cls(
+            space=space,
+            objective=objective,
+            constraints=constraints,
+            benchmarks=tuple(deduped),
+            instructions=instructions,
+            warmup_instructions=warmup,
+            rungs=rungs,
+            eta=eta,
+            min_survivors=min_survivors,
+        )
+
+    def to_payload(self) -> dict:
+        """Canonical echo; re-validating it rebuilds an identical spec."""
+        return {
+            "space": self.space.to_payload(),
+            "objective": self.objective.canonical(),
+            "constraints": self.constraints.to_payload(),
+            "benchmarks": list(self.benchmarks),
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "rungs": self.rungs,
+            "eta": self.eta,
+            "min_survivors": self.min_survivors,
+        }
+
+    # ------------------------------------------------------------------
+
+    def admitted_candidates(self) -> List[Candidate]:
+        """Candidates surviving the analytic area pre-prune."""
+        return [
+            candidate for candidate in self.space.candidates
+            if self.constraints.admits_area(candidate.area_units)
+        ]
+
+    def pruned_candidates(self) -> List[Candidate]:
+        return [
+            candidate for candidate in self.space.candidates
+            if not self.constraints.admits_area(candidate.area_units)
+        ]
+
+    def rung_samplings(self) -> List[Optional[SamplingSpec]]:
+        """Budget ladder: sampled rungs (cheapest first), then exact.
+
+        Sampled rungs the instruction budget is too short to support are
+        dropped (a 100-instruction search is exact-only); the final
+        ``None`` entry is the mandatory exact rung.
+        """
+        ladder: List[Optional[SamplingSpec]] = []
+        for index in range(self.rungs):
+            # Earlier rungs use a smaller detailed fraction: 1/8 of each
+            # stride on the first of two rungs, 1/4 on the next, etc.
+            fraction = 2 ** (self.rungs - index + 1)
+            spec = quick_sampling(self.instructions, fraction=fraction)
+            if spec is not None and spec not in ladder:
+                ladder.append(spec)
+        ladder.append(None)
+        return ladder
+
+    def rung0_points(self) -> int:
+        """Size of the first rung (the initial ``points.requested`` guess)."""
+        return len(self.admitted_candidates()) * len(self.benchmarks)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+
+#: Engine counter fields accumulated across rungs into the job totals.
+_COUNTER_FIELDS = (
+    "requested", "unique", "cached", "executed", "shared_inflight",
+    "remote_inflight", "remote_reclaimed", "traces_recorded", "traces_reused",
+)
+
+
+def _build_points(
+    spec: SearchSpec,
+    candidates: Sequence[Candidate],
+    sampling: Optional[SamplingSpec],
+):
+    from repro.experiments.scheduler import SimulationPoint
+
+    config = ProcessorConfig().with_overrides(max_instructions=spec.instructions)
+    return [
+        SimulationPoint(
+            benchmark=benchmark,
+            factory=candidate.factory,
+            architecture=candidate.label,
+            config=config,
+            warmup_instructions=spec.warmup_instructions,
+            sampling=sampling,
+        )
+        for candidate in candidates
+        for benchmark in spec.benchmarks
+    ]
+
+
+def _score_candidates(
+    spec: SearchSpec,
+    candidates: Sequence[Candidate],
+    points,
+    results,
+) -> List[dict]:
+    """Per-candidate evaluation records for one rung, unranked."""
+    by_key = {point.store_key(): point for point in points}
+    stats_by_arch_bench: Dict[Tuple[str, str], object] = {}
+    for key, stats in results.items():
+        point = by_key.get(key)
+        if point is not None:
+            stats_by_arch_bench[(point.architecture, point.benchmark)] = stats
+    scores = []
+    for candidate in candidates:
+        per_benchmark = {}
+        for benchmark in spec.benchmarks:
+            stats = stats_by_arch_bench.get((candidate.label, benchmark))
+            if stats is None:
+                raise SimulationError(
+                    f"search: no stored result for {benchmark} @ "
+                    f"{candidate.label} after the rung executed"
+                )
+            per_benchmark[benchmark] = evaluate(stats, candidate.geometry)
+        ipc = round(
+            harmonic_mean(entry["ipc"] for entry in per_benchmark.values()), 6
+        )
+        area = round(candidate.area_units, 6)
+        scores.append({
+            "label": candidate.label,
+            "area_units": area,
+            "ipc": ipc,
+            "ipc_by_benchmark": {
+                name: entry["ipc"] for name, entry in per_benchmark.items()
+            },
+            "feasible": spec.constraints.admits_ipc(ipc),
+        })
+    return scores
+
+
+def run_search(
+    spec: SearchSpec,
+    engine,
+    progress: Optional[Callable[[str], None]] = None,
+    on_point: Optional[Callable] = None,
+    on_rung: Optional[Callable[[int, dict], None]] = None,
+) -> Tuple[dict, dict]:
+    """Run one search to completion; returns ``(report, counters)``.
+
+    ``engine`` is a :class:`~repro.experiments.scheduler.SweepEngine`;
+    every rung goes through :meth:`execute`, so concurrent searches,
+    figure jobs and fleet replicas all share in-flight work and stored
+    results.  ``on_rung(index, rung_counters)`` fires after each rung
+    (the service uses it to publish live progress); ``on_point`` is
+    forwarded to the engine.
+    """
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    active = spec.admitted_candidates()
+    pruned = spec.pruned_candidates()
+    if not active:
+        raise ConfigurationError(
+            "the area constraint prunes every candidate in the search space"
+        )
+
+    ladder = spec.rung_samplings()
+    totals = {field: 0 for field in _COUNTER_FIELDS}
+    totals["rungs"] = 0
+    elapsed = 0.0
+    audit: List[dict] = []
+    final_scores: List[dict] = []
+
+    for index, sampling in enumerate(ladder):
+        is_final = sampling is None
+        budget = (
+            {"mode": "exact"} if is_final
+            else {"mode": "sampled", "sampling": sampling.to_payload()}
+        )
+        say(
+            f"search rung {index}: {len(active)} candidate(s) x "
+            f"{len(spec.benchmarks)} benchmark(s), "
+            + ("exact" if is_final else f"sampled {sampling.label()}")
+        )
+        points = _build_points(spec, active, sampling)
+        counters = engine.execute(points, progress=progress, on_point=on_point)
+        for field in _COUNTER_FIELDS:
+            totals[field] += counters.get(field, 0)
+        elapsed += counters.get("elapsed_seconds", 0)
+        totals["rungs"] += 1
+        results = engine.results_for(points)
+        scores = _score_candidates(spec, active, points, results)
+        ranked = rank_scores(spec.objective, scores)
+        if is_final:
+            survivors = [score["label"] for score in ranked]
+            final_scores = ranked
+        else:
+            keep = max(spec.min_survivors,
+                       math.ceil(len(active) / spec.eta))
+            survivors = select_survivors(spec.objective, scores, keep)
+        audit.append({
+            "rung": index,
+            "budget": budget,
+            "candidates": len(active),
+            "points": len(points),
+            "scores": ranked,
+            "survivors": sorted(survivors),
+        })
+        if on_rung is not None:
+            on_rung(index, counters)
+        if not is_final:
+            keep_set = set(survivors)
+            active = [c for c in active if c.label in keep_set]
+
+    by_label = {candidate.label: candidate for candidate in spec.space.candidates}
+    feasible_final = [score for score in final_scores if score["feasible"]]
+    frontier_points = pareto_frontier([
+        DesignPoint(cost=score["area_units"], value=score["ipc"],
+                    label=score["label"])
+        for score in feasible_final
+    ])
+    frontier = []
+    for point in frontier_points:
+        candidate = by_label[point.label]
+        frontier.append({
+            "label": point.label,
+            "area_units": point.cost,
+            "ipc": point.value,
+            "geometry": candidate.describe()["geometry"],
+        })
+
+    best = None
+    if not spec.objective.is_pareto and feasible_final:
+        top = rank_scores(spec.objective, feasible_final)[0]
+        best = dict(top)
+
+    report = {
+        "schema": SEARCH_SCHEMA_VERSION,
+        "objective": spec.objective.canonical(),
+        "constraints": spec.constraints.to_payload(),
+        "space": {
+            "kind": spec.space.kind,
+            "dimensions": spec.space.dimensions,
+            "candidates": len(spec.space.candidates),
+        },
+        "settings": {
+            "benchmarks": list(spec.benchmarks),
+            "instructions": spec.instructions,
+            "warmup_instructions": spec.warmup_instructions,
+            "rungs": spec.rungs,
+            "eta": spec.eta,
+            "min_survivors": spec.min_survivors,
+        },
+        "pruned_by_area": [
+            {"label": candidate.label,
+             "area_units": round(candidate.area_units, 6)}
+            for candidate in pruned
+        ],
+        "rungs": audit,
+        "evaluations": final_scores,
+        "frontier": frontier,
+        "best": best,
+    }
+    totals["elapsed_seconds"] = round(elapsed, 1)
+    say(
+        f"search: frontier has {len(frontier)} point(s) "
+        f"({totals['executed']} executed, {totals['cached']} cached)"
+    )
+    return report, totals

@@ -1,0 +1,255 @@
+"""Objective grammar, constraints and candidate ranking for the search.
+
+Objectives are tiny textual expressions::
+
+    "max ipc"             # fastest design (ties broken toward less area)
+    "min area"            # cheapest design (ties broken toward more IPC)
+    "pareto ipc-vs-area"  # the whole IPC-vs-area frontier
+
+Constraints bound the feasible region and come either as a mapping
+(``{"max_area_units": 25000, "min_ipc": 1.0}``) or as comparison
+strings (``"area_units <= 25000"``, ``"ipc >= 1.0"``).  The area bound
+is analytic, so the driver prunes it *before* any simulation runs; the
+IPC bound is applied to each rung's measured scores.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hwmodel.pareto import DesignPoint, pareto_frontier
+
+#: A scored candidate as ranked here: the driver's per-rung record.
+Score = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A parsed objective expression."""
+
+    kind: str  # "max" | "min" | "pareto"
+    metric: str  # "ipc" | "area_units" | "ipc-vs-area"
+
+    def canonical(self) -> str:
+        if self.kind == "min" and self.metric == "area_units":
+            return "min area"
+        return f"{self.kind} {self.metric}"
+
+    @property
+    def is_pareto(self) -> bool:
+        return self.kind == "pareto"
+
+
+#: Accepted objective spellings -> (kind, metric).
+_OBJECTIVES = {
+    ("max", "ipc"): ("max", "ipc"),
+    ("min", "area"): ("min", "area_units"),
+    ("min", "area_units"): ("min", "area_units"),
+    ("pareto", "ipc-vs-area"): ("pareto", "ipc-vs-area"),
+    ("pareto", "ipc vs area"): ("pareto", "ipc-vs-area"),
+}
+
+
+def parse_objective(text) -> Objective:
+    """Parse an objective expression (case- and whitespace-insensitive)."""
+    if not isinstance(text, str):
+        raise ConfigurationError("objective must be a string expression")
+    words = text.lower().split()
+    if len(words) >= 2:
+        key = (words[0], " ".join(words[1:]))
+        resolved = _OBJECTIVES.get(key)
+        if resolved is not None:
+            return Objective(kind=resolved[0], metric=resolved[1])
+    known = sorted({f"{kind} {metric}" for kind, metric in _OBJECTIVES})
+    raise ConfigurationError(
+        f"unknown objective {text!r} (known: {'; '.join(known)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# constraints
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Bounds on the feasible region (``None`` = unconstrained)."""
+
+    max_area_units: Optional[float] = None
+    min_ipc: Optional[float] = None
+
+    def to_payload(self) -> dict:
+        payload = {}
+        if self.max_area_units is not None:
+            payload["max_area_units"] = self.max_area_units
+        if self.min_ipc is not None:
+            payload["min_ipc"] = self.min_ipc
+        return payload
+
+    def admits_area(self, area_units: float) -> bool:
+        return self.max_area_units is None or area_units <= self.max_area_units
+
+    def admits_ipc(self, ipc: float) -> bool:
+        return self.min_ipc is None or ipc >= self.min_ipc
+
+
+def _positive_number(value, name: str) -> float:
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or value <= 0
+    ):
+        raise ConfigurationError(f"constraint {name} must be a positive number")
+    return float(value)
+
+
+def _parse_constraint_expr(text: str) -> dict:
+    """One ``metric <op> number`` comparison string -> mapping fields."""
+    for op in ("<=", ">="):
+        if op in text:
+            left, _, right = text.partition(op)
+            metric = left.strip().lower()
+            try:
+                bound = float(right.strip())
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"constraint {text!r}: {right.strip()!r} is not a number"
+                ) from error
+            if metric in ("area", "area_units") and op == "<=":
+                return {"max_area_units": bound}
+            if metric == "ipc" and op == ">=":
+                return {"min_ipc": bound}
+            raise ConfigurationError(
+                f"unsupported constraint {text!r} "
+                f"(supported: 'area_units <= X', 'ipc >= Y')"
+            )
+    raise ConfigurationError(
+        f"constraint {text!r} must be 'area_units <= X' or 'ipc >= Y'"
+    )
+
+
+def parse_constraints(payload) -> Constraints:
+    """Parse the constraints section of a search request.
+
+    Accepts ``None``, a mapping with ``max_area_units``/``min_ipc``
+    keys, or a list of comparison strings; raises
+    :class:`~repro.errors.ConfigurationError` on anything else.
+    """
+    if payload is None:
+        return Constraints()
+    merged: dict = {}
+    if isinstance(payload, list):
+        for entry in payload:
+            if not isinstance(entry, str):
+                raise ConfigurationError(
+                    "constraint list entries must be comparison strings"
+                )
+            for key, value in _parse_constraint_expr(entry).items():
+                if key in merged:
+                    raise ConfigurationError(
+                        f"constraint on {key} given more than once"
+                    )
+                merged[key] = value
+    elif isinstance(payload, dict):
+        known = ("max_area_units", "min_ipc")
+        unknown = sorted(set(payload) - set(known))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown constraint field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(known)})"
+            )
+        merged = {key: payload[key] for key in known if payload.get(key) is not None}
+    else:
+        raise ConfigurationError(
+            "constraints must be a mapping or a list of comparison strings"
+        )
+    kwargs = {}
+    for name in ("max_area_units", "min_ipc"):
+        if name in merged:
+            kwargs[name] = _positive_number(merged[name], name)
+    return Constraints(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# ranking and survivor selection
+# ----------------------------------------------------------------------
+
+
+def rank_scores(objective: Objective, scores: Sequence[Score]) -> List[Score]:
+    """Scores ordered best-first under ``objective``.
+
+    Infeasible candidates always rank after feasible ones; within each
+    group the order is deterministic (label as the final tiebreak) so
+    reports are stable across runs.  For the pareto objective the order
+    is by non-dominated layer (layer 0 = the frontier), then by area.
+    """
+    if not objective.is_pareto:
+        if objective.metric == "ipc":
+            def sort_key(score):
+                return (not score["feasible"], -score["ipc"],
+                        score["area_units"], score["label"])
+        else:
+            def sort_key(score):
+                return (not score["feasible"], score["area_units"],
+                        -score["ipc"], score["label"])
+        return sorted(scores, key=sort_key)
+
+    layers = pareto_layers(scores)
+    ranked: List[Score] = []
+    for layer in layers:
+        ranked.extend(
+            sorted(layer, key=lambda s: (s["area_units"], -s["ipc"], s["label"]))
+        )
+    return ranked
+
+
+def pareto_layers(scores: Sequence[Score]) -> List[List[Score]]:
+    """Successive non-dominated layers of the feasible scores.
+
+    Layer 0 is the Pareto frontier; peeling it off exposes layer 1, and
+    so on.  Infeasible scores form one final layer of their own (they
+    can never outrank a feasible design, however fast).
+    """
+    feasible = [score for score in scores if score["feasible"]]
+    infeasible = [score for score in scores if not score["feasible"]]
+    remaining = {score["label"]: score for score in feasible}
+    layers: List[List[Score]] = []
+    while remaining:
+        frontier = pareto_frontier([
+            DesignPoint(cost=score["area_units"], value=score["ipc"],
+                        label=score["label"])
+            for score in remaining.values()
+        ])
+        layer = [remaining.pop(point.label) for point in frontier]
+        layers.append(layer)
+    if infeasible:
+        layers.append(
+            sorted(infeasible,
+                   key=lambda s: (s["area_units"], -s["ipc"], s["label"]))
+        )
+    return layers
+
+
+def select_survivors(
+    objective: Objective, scores: Sequence[Score], keep: int
+) -> List[str]:
+    """Labels promoted to the next (bigger-budget) rung.
+
+    Scalar objectives keep the top ``keep`` of the ranking.  The pareto
+    objective keeps whole non-dominated layers until at least ``keep``
+    candidates survive — a layer is never split, so no member of a tied
+    frontier is arbitrarily dropped.
+    """
+    keep = max(1, min(keep, len(scores)))
+    if not objective.is_pareto:
+        return [score["label"] for score in rank_scores(objective, scores)[:keep]]
+    survivors: List[str] = []
+    for layer in pareto_layers(scores):
+        survivors.extend(score["label"] for score in layer)
+        if len(survivors) >= keep:
+            break
+    return survivors

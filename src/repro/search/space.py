@@ -1,0 +1,290 @@
+"""Named search spaces over register-file configurations.
+
+A search space is a small JSON object naming a space ``kind`` plus the
+port/bus/latency dimensions to sweep; :func:`build_space` turns it into
+the concrete list of :class:`Candidate` designs the driver evaluates.
+Candidates are seeded from the :mod:`repro.hwmodel.pareto` enumerations
+(``enumerate_single_banked`` / ``enumerate_register_file_cache``) so the
+search walks exactly the geometries the area model prices.
+
+Candidate labels deliberately reuse the Figure 8 sweep's architecture
+keys (``1-cycle/3R2W``, ``2-cycle-1byp/3R2W``, ``rfc/4R3W2B``): a point
+evaluated by a figure job and the same point evaluated by a search share
+one store key, so searches over previously-swept ground are pure cache
+hits.
+
+Space kinds::
+
+    {"kind": "single-banked",
+     "read_ports": [2, 3, 4],      # optional, default (2, 3, 4)
+     "write_ports": [2, 3, 4],     # optional, default (2, 3, 4)
+     "latencies": [1]}             # optional, default (1,); 2 = one bypass
+
+    {"kind": "register-file-cache",
+     "read_ports": [2, 3, 4],      # upper-bank reads, default (2, 3, 4)
+     "write_ports": [2, 3],        # upper-bank writes, default (2, 3)
+     "buses": [1, 2],              # default (1, 2)
+     "lower_write_ports": null}    # default: tied to the upper writes
+
+    {"kind": "figure8"}            # the paper's full Figure 8 sweep
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.hwmodel.area import RegisterFileGeometry
+from repro.hwmodel.configurations import RegisterFileCacheGeometry
+from repro.hwmodel.evaluate import area_units, geometry_payload
+from repro.hwmodel.pareto import (
+    enumerate_register_file_cache,
+    enumerate_single_banked,
+)
+
+#: Default dimension ranges, aligned with the Figure 8 sweep defaults.
+SINGLE_READ_PORTS: Tuple[int, ...] = (2, 3, 4)
+SINGLE_WRITE_PORTS: Tuple[int, ...] = (2, 3, 4)
+SINGLE_LATENCIES: Tuple[int, ...] = (1,)
+CACHE_READ_PORTS: Tuple[int, ...] = (2, 3, 4)
+CACHE_WRITE_PORTS: Tuple[int, ...] = (2, 3)
+CACHE_BUSES: Tuple[int, ...] = (1, 2)
+
+#: Hard ceiling on enumerated candidates per space: a search request
+#: must not be able to enqueue an unbounded sweep.
+MAX_CANDIDATES = 512
+
+#: Registers of the single-banked file / the RFC's lower bank.
+LOWER_REGISTERS = 128
+
+SPACE_KINDS = ("single-banked", "register-file-cache", "figure8")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One concrete design the search evaluates.
+
+    ``label`` doubles as the simulation architecture key (store-key
+    relevant); ``geometry`` prices the design analytically, so its area
+    is known before any simulation runs.
+    """
+
+    label: str
+    factory: Callable
+    geometry: Union[RegisterFileGeometry, RegisterFileCacheGeometry]
+
+    @property
+    def area_units(self) -> float:
+        return area_units(self.geometry)
+
+    def describe(self) -> dict:
+        return {
+            "label": self.label,
+            "area_units": round(self.area_units, 6),
+            "geometry": geometry_payload(self.geometry),
+        }
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """A validated space: its canonical echo plus concrete candidates."""
+
+    kind: str
+    dimensions: Dict[str, Optional[List[int]]]
+    candidates: Tuple[Candidate, ...]
+
+    def to_payload(self) -> dict:
+        payload: dict = {"kind": self.kind}
+        payload.update(self.dimensions)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# dimension validation
+# ----------------------------------------------------------------------
+
+
+def _int_list(
+    payload: dict, name: str, default: Sequence[int], minimum: int = 1,
+) -> List[int]:
+    value = payload.get(name)
+    if value is None:
+        return list(default)
+    if not isinstance(value, list) or not value:
+        raise ConfigurationError(
+            f"search space {name} must be a non-empty list of integers"
+        )
+    seen = []
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool) or item < minimum:
+            raise ConfigurationError(
+                f"search space {name} values must be integers >= {minimum} "
+                f"(got {item!r})"
+            )
+        if item not in seen:
+            seen.append(item)
+    return seen
+
+
+def _reject_unknown(payload: dict, known: Sequence[str], kind: str) -> None:
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown field(s) for {kind!r} search space: {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+
+
+# ----------------------------------------------------------------------
+# candidate enumeration per kind
+# ----------------------------------------------------------------------
+
+
+def _single_banked_candidates(
+    read_ports: Sequence[int],
+    write_ports: Sequence[int],
+    latencies: Sequence[int],
+) -> List[Candidate]:
+    from repro.experiments.common import (
+        one_cycle_factory,
+        two_cycle_one_bypass_factory,
+    )
+
+    candidates = []
+    for latency in latencies:
+        for geometry in enumerate_single_banked(
+            num_registers=LOWER_REGISTERS,
+            read_port_range=read_ports,
+            write_port_range=write_ports,
+        ):
+            reads, writes = geometry.read_ports, geometry.write_ports
+            if latency == 1:
+                factory = one_cycle_factory(read_ports=reads, write_ports=writes)
+                label = f"1-cycle/{reads}R{writes}W"
+            else:
+                factory = two_cycle_one_bypass_factory(
+                    read_ports=reads, write_ports=writes
+                )
+                label = f"2-cycle-1byp/{reads}R{writes}W"
+            candidates.append(Candidate(label, factory, geometry))
+    return candidates
+
+
+def _cache_candidates(
+    read_ports: Sequence[int],
+    write_ports: Sequence[int],
+    buses: Sequence[int],
+    lower_write_ports: Optional[Sequence[int]],
+) -> List[Candidate]:
+    from repro.experiments.common import register_file_cache_factory
+
+    tied = lower_write_ports is None
+    lower_range = list(write_ports) if tied else list(lower_write_ports)
+    candidates = []
+    for geometry in enumerate_register_file_cache(
+        lower_registers=LOWER_REGISTERS,
+        upper_read_range=read_ports,
+        upper_write_range=write_ports,
+        lower_write_range=lower_range,
+        bus_range=buses,
+    ):
+        if tied and geometry.lower_write_ports != geometry.upper_write_ports:
+            continue
+        factory = register_file_cache_factory(
+            upper_read_ports=geometry.upper_read_ports,
+            upper_write_ports=geometry.upper_write_ports,
+            lower_write_ports=geometry.lower_write_ports,
+            buses=geometry.buses,
+        )
+        reads = geometry.upper_read_ports
+        writes = geometry.upper_write_ports
+        if tied:
+            label = f"rfc/{reads}R{writes}W{geometry.buses}B"
+        else:
+            label = (
+                f"rfc/{reads}R{writes}W"
+                f"{geometry.lower_write_ports}L{geometry.buses}B"
+            )
+        candidates.append(Candidate(label, factory, geometry))
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
+def build_space(payload) -> SearchSpace:
+    """Validate a space payload and enumerate its candidates.
+
+    Raises :class:`~repro.errors.ConfigurationError` on anything
+    malformed — unknown kinds or fields, bad dimension values, an empty
+    or oversized enumeration.
+    """
+    if isinstance(payload, str):
+        payload = {"kind": payload}
+    if not isinstance(payload, dict):
+        raise ConfigurationError("search space must be a JSON object (or a kind name)")
+    kind = payload.get("kind")
+    if kind not in SPACE_KINDS:
+        raise ConfigurationError(
+            f"unknown search space kind {kind!r} "
+            f"(known: {', '.join(SPACE_KINDS)})"
+        )
+
+    if kind == "single-banked":
+        _reject_unknown(
+            payload, ("kind", "read_ports", "write_ports", "latencies"), kind
+        )
+        reads = _int_list(payload, "read_ports", SINGLE_READ_PORTS)
+        writes = _int_list(payload, "write_ports", SINGLE_WRITE_PORTS)
+        latencies = _int_list(payload, "latencies", SINGLE_LATENCIES)
+        if any(latency not in (1, 2) for latency in latencies):
+            raise ConfigurationError(
+                "search space latencies must be 1 (non-pipelined) or "
+                "2 (pipelined, one bypass level)"
+            )
+        candidates = _single_banked_candidates(reads, writes, latencies)
+        dimensions = {
+            "read_ports": reads, "write_ports": writes, "latencies": latencies,
+        }
+    elif kind == "register-file-cache":
+        _reject_unknown(
+            payload,
+            ("kind", "read_ports", "write_ports", "buses", "lower_write_ports"),
+            kind,
+        )
+        reads = _int_list(payload, "read_ports", CACHE_READ_PORTS)
+        writes = _int_list(payload, "write_ports", CACHE_WRITE_PORTS)
+        buses = _int_list(payload, "buses", CACHE_BUSES)
+        lower = (
+            None if payload.get("lower_write_ports") is None
+            else _int_list(payload, "lower_write_ports", ())
+        )
+        candidates = _cache_candidates(reads, writes, buses, lower)
+        dimensions = {
+            "read_ports": reads, "write_ports": writes, "buses": buses,
+            "lower_write_ports": lower,
+        }
+    else:  # figure8: the paper's fixed union sweep, no dimensions
+        _reject_unknown(payload, ("kind",), kind)
+        candidates = _single_banked_candidates(
+            SINGLE_READ_PORTS, SINGLE_WRITE_PORTS, (1, 2)
+        ) + _cache_candidates(
+            CACHE_READ_PORTS, CACHE_WRITE_PORTS, CACHE_BUSES, None
+        )
+        dimensions = {}
+
+    if not candidates:
+        raise ConfigurationError("search space enumerates no candidates")
+    if len(candidates) > MAX_CANDIDATES:
+        raise ConfigurationError(
+            f"search space enumerates {len(candidates)} candidates "
+            f"(limit: {MAX_CANDIDATES}); restrict the dimension ranges"
+        )
+    labels = [candidate.label for candidate in candidates]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError("search space produced duplicate candidate labels")
+    return SearchSpace(kind=kind, dimensions=dimensions,
+                       candidates=tuple(candidates))

@@ -116,7 +116,11 @@ class ServiceApp:
         self.queue = JobQueue()
         self.job_concurrency = job_concurrency
         self.started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
-        self._started_clock = time.time()
+        # The rate clock is monotonic: wall-clock (``started_at``) is for
+        # display only, so an NTP step can never skew (or negate) the
+        # points/min rate derived from uptime.  Injectable for tests.
+        self._monotonic = time.monotonic
+        self._started_clock = self._monotonic()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
         #: Validated plans of jobs admitted by *this* process; resumed
@@ -217,16 +221,23 @@ class ServiceApp:
     def submit(self, payload) -> Job:
         """Validate a submission and enqueue a job (raises ApiError)."""
         plan = spec_mod.validate_submission(payload)
-        points = plan.plan_points()
         job = Job(
             id=new_job_id(),
             spec=plan.spec,
             priority=int(plan.spec.get("priority", 0)),
         )
-        job.points["requested"] = len(points)
-        job.points["unique"] = len(dedupe_points(points))
+        if plan.kind == "search":
+            # A search plans its points rung by rung; admit it with the
+            # first rung's size (the counters grow as rungs complete).
+            requested = unique = plan.search.rung0_points()
+        else:
+            points = plan.plan_points()
+            requested = len(points)
+            unique = len(dedupe_points(points))
+        job.points["requested"] = requested
+        job.points["unique"] = unique
         with self._points_lock:
-            self._point_totals["requested"] += len(points)
+            self._point_totals["requested"] += requested
         self._plans[job.id] = plan
         self.job_store.save(job)
         self.queue.add(job)
@@ -370,9 +381,6 @@ class ServiceApp:
             plan = self._plans.pop(job.id, None)
             if plan is None:  # resumed from the job store after a restart
                 plan = spec_mod.validate_submission(job.spec)
-            points = plan.plan_points()
-            job.points["requested"] = len(points)
-            job.points["unique"] = len(dedupe_points(points))
 
             last_save = [time.monotonic()]
 
@@ -385,15 +393,38 @@ class ServiceApp:
                     last_save[0] = now
                     self.job_store.save(job)
 
-            counters = self.engine.execute(
-                points, progress=self.progress, on_point=on_point
-            )
-            job.points["completed"] = counters["unique"]
-            if plan.kind == "figures":
-                cache = SimulationCache(plan.settings, store=self.store)
-                result = spec_mod.assemble_figure_result(plan, cache)
+            if plan.kind == "search":
+                from repro.search.driver import run_search
+
+                job.points["requested"] = 0
+                job.points["unique"] = 0
+
+                def on_rung(_index: int, rung_counters: dict) -> None:
+                    # Point totals grow rung by rung: the halving
+                    # schedule decides the next rung's size only once
+                    # this one is scored.
+                    job.points["requested"] += rung_counters["requested"]
+                    job.points["unique"] += rung_counters["unique"]
+                    self.job_store.save(job)
+
+                report, counters = run_search(
+                    plan.search, self.engine, progress=self.progress,
+                    on_point=on_point, on_rung=on_rung,
+                )
+                result = {"kind": "search", "report": report}
             else:
-                result = spec_mod.assemble_points_result(plan, self.store)
+                points = plan.plan_points()
+                job.points["requested"] = len(points)
+                job.points["unique"] = len(dedupe_points(points))
+                counters = self.engine.execute(
+                    points, progress=self.progress, on_point=on_point
+                )
+                if plan.kind == "figures":
+                    cache = SimulationCache(plan.settings, store=self.store)
+                    result = spec_mod.assemble_figure_result(plan, cache)
+                else:
+                    result = spec_mod.assemble_points_result(plan, self.store)
+            job.points["completed"] = counters["unique"]
             job.mark_completed(result, counters)
             with self._points_lock:
                 self._point_totals["unique"] += counters["unique"]
@@ -439,7 +470,7 @@ class ServiceApp:
     # ------------------------------------------------------------------
 
     def uptime_seconds(self) -> float:
-        return round(time.time() - self._started_clock, 1)
+        return round(self._monotonic() - self._started_clock, 1)
 
     def health(self) -> dict:
         return {

@@ -105,6 +105,31 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
 
+    def search(self, spec: dict) -> dict:
+        """Submit a config-space search; returns the new job record."""
+        return self._request("POST", "/search", payload=spec)
+
+    def searches(self) -> dict:
+        return self._request("GET", "/search")
+
+    def search_status(self, job_id: str) -> dict:
+        """A search job's record (the report is inlined once completed)."""
+        return self._request("GET", f"/search/{job_id}")
+
+    def frontier(self, job_id: str) -> list:
+        """The discovered Pareto frontier of a *completed* search job."""
+        record = self.search_status(job_id)
+        state = record.get("state")
+        if state != "completed":
+            raise ServiceError(
+                f"search {job_id} is {state}; the frontier exists once it "
+                f"completes", code="job_not_completed", status=409,
+            )
+        report = (record.get("result") or {}).get("report") or {}
+        return report.get("frontier") or []
+
+    # ------------------------------------------------------------------
+
     def watch(
         self,
         job_id: str,

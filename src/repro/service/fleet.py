@@ -212,6 +212,20 @@ class LeaseManager:
             return list(self._held)
 
 
+def _coerce_count(value) -> Tuple[int, bool]:
+    """``(rounded integer, was_numeric)`` for one snapshot counter field.
+
+    Counters are integers at the source, but JSON round-trips and rate
+    arithmetic can hand back floats; those are *rounded*, not truncated,
+    so fleet totals cannot drift low.  Booleans and non-numbers are
+    malformed (counted by the caller), never silently zeroed into the
+    totals.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0, False
+    return int(round(value)), True
+
+
 class ReplicaRegistry:
     """Published per-replica counter snapshots and their aggregation."""
 
@@ -267,6 +281,11 @@ class ReplicaRegistry:
         the monotonic totals — a drained replica's completed work does
         not vanish from the fleet's history — but not toward
         ``active_replicas`` or the aggregate points/min rate.
+
+        Float counter values are rounded (never truncated) into the
+        totals; fields that are present but not numeric are skipped and
+        counted in ``snapshot_errors`` so a corrupt snapshot is visible
+        instead of silently dragging the fleet totals low.
         """
         now = self.clock()
         totals = {
@@ -277,6 +296,7 @@ class ReplicaRegistry:
         replicas = []
         active = 0
         per_minute = 0.0
+        snapshot_errors = 0
         for snapshot in self.snapshots():
             updated_at = snapshot.get("updated_at")
             age = (
@@ -284,23 +304,33 @@ class ReplicaRegistry:
                 if isinstance(updated_at, (int, float)) else None
             )
             is_active = age is not None and age <= fresh_within
-            points = snapshot.get("points") or {}
+            points = snapshot.get("points")
+            if points is None:
+                points = {}
+            elif not isinstance(points, dict):
+                snapshot_errors += 1
+                points = {}
+            replica_points = {}
             for field in totals:
-                value = points.get(field)
-                if isinstance(value, (int, float)):
-                    totals[field] += int(value)
+                value, numeric = _coerce_count(points.get(field, 0))
+                replica_points[field] = value
+                if not numeric:
+                    snapshot_errors += 1
+                    continue
+                if field in points:
+                    totals[field] += value
             if is_active:
                 active += 1
-                rate = points.get("per_minute")
-                if isinstance(rate, (int, float)):
+                rate = points.get("per_minute", 0)
+                if isinstance(rate, (int, float)) and not isinstance(rate, bool):
                     per_minute += rate
+                else:
+                    snapshot_errors += 1
             replicas.append({
                 "id": snapshot["replica_id"],
                 "active": is_active,
                 "age_seconds": age,
-                "points": {
-                    field: int(points.get(field, 0) or 0) for field in totals
-                },
+                "points": replica_points,
             })
         return {
             "replicas": replicas,
@@ -308,4 +338,5 @@ class ReplicaRegistry:
             "known_replicas": len(replicas),
             "points": totals,
             "per_minute": round(per_minute, 2),
+            "snapshot_errors": snapshot_errors,
         }

@@ -3,9 +3,13 @@
 Routes (all JSON unless ``format=csv``)::
 
     POST /jobs                  submit a figure plan or explicit points
+    POST /search                submit a config-space search (a job whose
+                                spec is the search request)
     GET  /jobs                  summary list of known jobs
     GET  /jobs/<id>             one job's status record
     GET  /jobs/<id>/result      completed job's result (?format=json|csv)
+    GET  /search                summary list of search jobs
+    GET  /search/<id>           one search job, report inlined once done
     GET  /healthz               liveness + version
     GET  /metrics               queue depth, jobs by state, points/min,
                                 cache hit rates, worker-pool resets
@@ -63,10 +67,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
-    def _job_route(self, path: str) -> Tuple[Optional[str], Optional[str]]:
-        """``/jobs/<id>[/result]`` -> (job_id, subresource)."""
+    def _job_route(self, path: str, root: str = "jobs",
+                   ) -> Tuple[Optional[str], Optional[str]]:
+        """``/<root>/<id>[/sub]`` -> (job_id, subresource)."""
         parts = [part for part in path.split("/") if part]
-        if not parts or parts[0] != "jobs":
+        if not parts or parts[0] != root:
             return None, None
         if len(parts) == 1:
             return "", None
@@ -75,6 +80,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if len(parts) == 3:
             return parts[1], parts[2]
         return None, None
+
+    def _search_job(self, job_id: str):
+        """A job that is a search (404 otherwise, matching /jobs semantics)."""
+        job = self.app.get_job(job_id)
+        if "search" not in (job.spec or {}):
+            raise ApiError(404, "search_not_found",
+                           f"job {job_id!r} is not a search job")
+        return job
 
     def _read_body(self) -> bytes:
         length = self.headers.get("Content-Length")
@@ -117,6 +130,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 else:
                     self._send_json(200, result)
                 return
+            search_id, sub = self._job_route(path, root="search")
+            if search_id == "" and sub is None:
+                searches = [
+                    job.to_dict() for job in self.app.queue.jobs()
+                    if "search" in (job.spec or {})
+                ]
+                searches.sort(key=lambda entry: entry["submitted_at"])
+                self._send_json(200, {"searches": searches})
+                return
+            if search_id and sub is None:
+                # The search record inlines the report once completed,
+                # so `GET /search/<id>` is the whole conversation.
+                job = self._search_job(search_id)
+                self._send_json(200, job.to_dict(include_result=True))
+                return
             raise ApiError(404, "not_found", f"no route for GET {path}")
         except ApiError as error:
             self._send_error(error)
@@ -128,7 +156,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
             path = urlparse(self.path).path
-            if path not in ("/jobs", "/jobs/"):
+            if path not in ("/jobs", "/jobs/", "/search", "/search/"):
                 raise ApiError(404, "not_found", f"no route for POST {path}")
             body = self._read_body()
             try:
@@ -136,6 +164,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             except (ValueError, UnicodeDecodeError) as exc:
                 raise ApiError(400, "bad_request",
                                f"request body is not valid JSON: {exc}") from exc
+            if path.startswith("/search"):
+                # The body *is* the search request; wrap it into the
+                # one-of-figure/points/search submission shape.
+                if not isinstance(payload, dict):
+                    raise ApiError(400, "bad_request",
+                                   "search request body must be a JSON object")
+                payload = dict(payload)
+                priority = payload.pop("priority", 0)
+                payload = {"search": payload, "priority": priority}
             job = self.app.submit(payload)
             self._send_json(202, job.to_dict())
         except ApiError as error:

@@ -156,7 +156,15 @@ class TestFigure8:
                 areas = [p["area_10Klambda2"] for p in points]
                 perfs = [p["relative_performance"] for p in points]
                 assert areas == sorted(areas)
-                assert all(b > a for a, b in zip(perfs, perfs[1:]))
+                # Performance climbs along the frontier; it may only
+                # repeat on an exact (area, performance) tie — distinct
+                # port mixes pricing and performing identically are all
+                # legitimate frontier members.
+                pairs = list(zip(areas, perfs))
+                for (area_a, perf_a), (area_b, perf_b) in zip(pairs, pairs[1:]):
+                    assert perf_b > perf_a or (
+                        perf_b == perf_a and area_b == area_a
+                    )
 
 
 class TestRunner:

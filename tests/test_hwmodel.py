@@ -127,6 +127,18 @@ class TestPareto:
         frontier = pareto_frontier(points)
         assert [p.label for p in frontier] == ["high"]
 
+    def test_exact_ties_are_all_kept(self):
+        # Distinct designs landing on the same (cost, value) spot are
+        # equally optimal; none of them may be arbitrarily dropped.
+        points = [
+            DesignPoint(10, 1.0, "tie-a"),
+            DesignPoint(10, 1.0, "tie-b"),
+            DesignPoint(12, 1.0, "worse-cost-same-value"),
+            DesignPoint(15, 1.2, "b"),
+        ]
+        frontier = pareto_frontier(points)
+        assert [p.label for p in frontier] == ["tie-a", "tie-b", "b"]
+
     def test_empty_input(self):
         assert pareto_frontier([]) == []
 

@@ -147,6 +147,15 @@ def test_hw_models_are_positive_and_monotonic_in_ports(registers, reads, writes)
 # pareto frontier
 # ----------------------------------------------------------------------
 
+def _dominated(point, others):
+    """Strict Pareto dominance: someone is no worse and strictly better."""
+    return any(
+        (other.cost <= point.cost and other.value > point.value)
+        or (other.cost < point.cost and other.value >= point.value)
+        for other in others
+    )
+
+
 @given(st.lists(st.tuples(st.floats(min_value=1, max_value=1000),
                           st.floats(min_value=0.01, max_value=10)),
                 min_size=1, max_size=80))
@@ -157,15 +166,46 @@ def test_pareto_frontier_is_sound(points_data):
     assert frontier, "frontier of a non-empty set is non-empty"
     # No frontier point is dominated by any original point.
     for point in frontier:
-        for other in points:
-            strictly_better = (other.cost <= point.cost and other.value > point.value) or (
-                other.cost < point.cost and other.value >= point.value)
-            assert not strictly_better
-    # The frontier is sorted by cost and strictly increasing in value.
+        assert not _dominated(point, points)
+    # The frontier is sorted by cost; value only repeats on an exact
+    # (cost, value) tie — never with a cost increase (that point would
+    # be dominated).
     costs = [p.cost for p in frontier]
     values = [p.value for p in frontier]
     assert costs == sorted(costs)
-    assert all(b > a for a, b in zip(values, values[1:]))
+    for left, right in zip(frontier, frontier[1:]):
+        assert right.value > left.value or (
+            right.value == left.value and right.cost == left.cost
+        )
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=4),
+                          st.integers(min_value=1, max_value=3)),
+                min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_pareto_frontier_is_exactly_the_nondominated_multiset(points_data):
+    """Completeness + soundness on a tiny grid (ties and duplicates are
+    the common case here, not the corner case): the frontier is exactly
+    the multiset of non-dominated input points, so exact (cost, value)
+    ties and duplicates are all kept and everything strictly dominated
+    is dropped."""
+    points = [DesignPoint(cost=c, value=v) for c, v in points_data]
+    frontier = pareto_frontier(points)
+    expected = [point for point in points if not _dominated(point, points)]
+    key = lambda p: (p.cost, p.value)  # noqa: E731
+    assert sorted(map(key, frontier)) == sorted(map(key, expected))
+
+
+@given(st.lists(st.tuples(st.floats(min_value=1, max_value=100),
+                          st.floats(min_value=0.01, max_value=10)),
+                min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_pareto_frontier_duplicating_every_point_duplicates_the_frontier(points_data):
+    points = [DesignPoint(cost=c, value=v) for c, v in points_data]
+    once = pareto_frontier(points)
+    twice = pareto_frontier(points + points)
+    key = lambda p: (p.cost, p.value)  # noqa: E731
+    assert sorted(map(key, twice)) == sorted(map(key, once + once))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,407 @@
+"""Config-space search: spaces, objectives, the halving driver, service E2E.
+
+The expensive end-to-end paths run tiny instruction budgets (hundreds of
+instructions) and small spaces; the cache-determinism assertions (warm
+re-run executes nothing, report byte-identical) are the load-bearing
+part, mirroring what the CI `search` job checks against a live server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hwmodel.evaluate import area_units
+from repro.pipeline.stats import SimulationStats
+from repro.sampling.spec import quick_sampling
+from repro.search.driver import SearchSpec, _build_points
+from repro.search.objectives import (
+    Constraints,
+    parse_constraints,
+    parse_objective,
+    pareto_layers,
+    rank_scores,
+    select_survivors,
+)
+from repro.search.space import build_space
+from repro.service import ServiceApp
+from repro.service.jobs import COMPLETED, FAILED
+from repro.service.spec import ApiError, validate_submission
+
+# A four-candidate space small enough for real simulation in a test:
+# 2R2W (4 ports), 2R3W and 3R2W (5 ports each — an exact area tie),
+# and 3R3W (6 ports).
+TINY_SPACE = {"kind": "single-banked", "read_ports": [2, 3],
+              "write_ports": [2, 3]}
+
+
+def wait_for(job_getter, timeout: float = 120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        job = job_getter()
+        if job.terminal:
+            return job
+        time.sleep(0.02)
+    raise AssertionError("search job did not reach a terminal state in time")
+
+
+@pytest.fixture
+def app(tmp_path):
+    service = ServiceApp(cache_dir=str(tmp_path), jobs=1, job_concurrency=2)
+    service.start()
+    yield service
+    service.stop()
+
+
+def inject_results(app: ServiceApp, spec: SearchSpec, ipc_by_label: dict) -> None:
+    """Pre-store exact-rung stats so a search runs without simulating."""
+    points = _build_points(spec, spec.admitted_candidates(), None)
+    for point in points:
+        ipc = ipc_by_label[point.architecture]
+        cycles = 10_000
+        stats = SimulationStats(
+            benchmark=point.benchmark,
+            architecture=point.architecture,
+            cycles=cycles,
+            committed_instructions=int(round(cycles * ipc)),
+        )
+        app.store.put(point.store_key(), stats)
+
+
+# ----------------------------------------------------------------------
+# spaces
+# ----------------------------------------------------------------------
+
+
+class TestSearchSpace:
+    def test_single_banked_defaults(self):
+        space = build_space("single-banked")
+        assert space.kind == "single-banked"
+        labels = [candidate.label for candidate in space.candidates]
+        assert len(labels) == 9  # 3 reads x 3 writes, latency 1
+        assert "1-cycle/3R2W" in labels
+        assert space.dimensions["latencies"] == [1]
+
+    def test_latency_two_uses_bypass_labels(self):
+        space = build_space({"kind": "single-banked", "read_ports": [3],
+                             "write_ports": [2], "latencies": [2]})
+        assert [c.label for c in space.candidates] == ["2-cycle-1byp/3R2W"]
+
+    def test_rfc_tied_lower_writes(self):
+        space = build_space("register-file-cache")
+        labels = [candidate.label for candidate in space.candidates]
+        # 3 reads x 2 writes x 2 buses, lower bank tied to upper writes.
+        assert len(labels) == 12
+        assert "rfc/4R3W2B" in labels
+        assert all("L" not in label for label in labels)
+
+    def test_rfc_explicit_lower_writes(self):
+        space = build_space({"kind": "register-file-cache",
+                             "read_ports": [4], "write_ports": [3],
+                             "buses": [2], "lower_write_ports": [2]})
+        assert [c.label for c in space.candidates] == ["rfc/4R3W2L2B"]
+
+    def test_figure8_is_the_full_paper_sweep(self):
+        space = build_space("figure8")
+        labels = [candidate.label for candidate in space.candidates]
+        # 9 one-cycle + 9 two-cycle + 12 RFC geometries, no duplicates.
+        assert len(labels) == 30
+        assert len(set(labels)) == 30
+        assert space.dimensions == {}
+        for chosen in ("1-cycle/3R2W", "2-cycle-1byp/3R2W", "rfc/4R3W2B"):
+            assert chosen in labels
+
+    def test_rejects_unknown_kind_and_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown search space kind"):
+            build_space("warp-drive")
+        with pytest.raises(ConfigurationError, match="unknown field"):
+            build_space({"kind": "figure8", "read_ports": [2]})
+        with pytest.raises(ConfigurationError, match="latencies must be 1"):
+            build_space({"kind": "single-banked", "latencies": [3]})
+        with pytest.raises(ConfigurationError, match="integers >= 1"):
+            build_space({"kind": "single-banked", "read_ports": [0]})
+        with pytest.raises(ConfigurationError, match="non-empty list"):
+            build_space({"kind": "single-banked", "read_ports": []})
+
+    def test_dimension_values_dedupe_preserving_order(self):
+        space = build_space({"kind": "single-banked", "read_ports": [3, 2, 3],
+                             "write_ports": [2]})
+        assert space.dimensions["read_ports"] == [3, 2]
+        assert len(space.candidates) == 2
+
+
+# ----------------------------------------------------------------------
+# objectives and constraints
+# ----------------------------------------------------------------------
+
+
+def score(label: str, area: float, ipc: float, feasible: bool = True) -> dict:
+    return {"label": label, "area_units": area, "ipc": ipc,
+            "feasible": feasible}
+
+
+class TestObjectives:
+    def test_parse_objective_spellings(self):
+        assert parse_objective("max ipc").canonical() == "max ipc"
+        assert parse_objective("MIN  Area").canonical() == "min area"
+        assert parse_objective("min area_units").canonical() == "min area"
+        assert parse_objective("pareto ipc-vs-area").is_pareto
+        assert parse_objective("Pareto IPC vs Area").canonical() == \
+            "pareto ipc-vs-area"
+
+    def test_parse_objective_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            parse_objective("max frequency")
+        with pytest.raises(ConfigurationError, match="string expression"):
+            parse_objective(42)
+
+    def test_parse_constraints_mapping_and_strings(self):
+        mapped = parse_constraints({"max_area_units": 25000, "min_ipc": 1.0})
+        listed = parse_constraints(["area_units <= 25000", "ipc >= 1.0"])
+        assert mapped == listed == Constraints(max_area_units=25000.0,
+                                               min_ipc=1.0)
+        assert parse_constraints(None) == Constraints()
+
+    def test_parse_constraints_rejects_garbage(self):
+        with pytest.raises(ConfigurationError, match="more than once"):
+            parse_constraints(["area <= 1", "area_units <= 2"])
+        with pytest.raises(ConfigurationError, match="unknown constraint"):
+            parse_constraints({"max_power": 5})
+        with pytest.raises(ConfigurationError, match="positive number"):
+            parse_constraints({"min_ipc": -1})
+        with pytest.raises(ConfigurationError, match="unsupported constraint"):
+            parse_constraints(["ipc <= 2"])
+
+    def test_rank_scores_scalar_objectives(self):
+        scores = [score("slow-cheap", 10.0, 0.5),
+                  score("fast-big", 30.0, 1.5),
+                  score("fast-infeasible", 5.0, 2.0, feasible=False)]
+        by_ipc = rank_scores(parse_objective("max ipc"), scores)
+        assert [s["label"] for s in by_ipc] == \
+            ["fast-big", "slow-cheap", "fast-infeasible"]
+        by_area = rank_scores(parse_objective("min area"), scores)
+        assert [s["label"] for s in by_area] == \
+            ["slow-cheap", "fast-big", "fast-infeasible"]
+
+    def test_pareto_layers_peel_and_quarantine_infeasible(self):
+        scores = [score("frontier-a", 10.0, 1.0),
+                  score("frontier-b", 20.0, 2.0),
+                  score("dominated", 20.0, 1.0),
+                  score("infeasible", 1.0, 9.0, feasible=False)]
+        layers = pareto_layers(scores)
+        assert [s["label"] for s in layers[0]] == ["frontier-a", "frontier-b"]
+        assert [s["label"] for s in layers[1]] == ["dominated"]
+        assert [s["label"] for s in layers[2]] == ["infeasible"]
+
+    def test_select_survivors_never_splits_a_tied_layer(self):
+        # Three designs tied on (area, ipc) form one frontier layer; a
+        # keep=1 halving must still promote all of them.
+        scores = [score("tie-a", 10.0, 1.0), score("tie-b", 10.0, 1.0),
+                  score("tie-c", 10.0, 1.0), score("worse", 20.0, 0.5)]
+        survivors = select_survivors(parse_objective("pareto ipc-vs-area"),
+                                     scores, keep=1)
+        assert sorted(survivors) == ["tie-a", "tie-b", "tie-c"]
+
+    def test_select_survivors_scalar_keeps_top_k(self):
+        scores = [score("a", 10.0, 1.0), score("b", 20.0, 2.0),
+                  score("c", 30.0, 3.0)]
+        assert select_survivors(parse_objective("max ipc"), scores, 2) == \
+            ["c", "b"]
+
+
+# ----------------------------------------------------------------------
+# SearchSpec validation
+# ----------------------------------------------------------------------
+
+
+class TestSearchSpec:
+    def test_defaults(self):
+        spec = SearchSpec.from_payload({"space": "single-banked"})
+        assert spec.benchmarks == ("gcc",)
+        assert spec.instructions == 2000
+        assert spec.rungs == 1 and spec.eta == 2 and spec.min_survivors == 2
+        assert spec.objective.is_pareto
+
+    def test_payload_round_trip_is_identical(self):
+        payload = {"space": TINY_SPACE, "objective": "max ipc",
+                   "constraints": ["area_units <= 99999"],
+                   "benchmarks": ["gcc", "perl"], "instructions": 500,
+                   "rungs": 2}
+        spec = SearchSpec.from_payload(payload)
+        echoed = SearchSpec.from_payload(spec.to_payload())
+        assert echoed == spec
+        assert echoed.to_payload() == spec.to_payload()
+
+    def test_rejects_unknown_fields_and_bad_values(self):
+        with pytest.raises(ConfigurationError, match="unknown search field"):
+            SearchSpec.from_payload({"space": "figure8", "budget": 10})
+        with pytest.raises(ConfigurationError, match="needs a 'space'"):
+            SearchSpec.from_payload({"objective": "max ipc"})
+        with pytest.raises(ConfigurationError, match="at most 3"):
+            SearchSpec.from_payload({"space": "figure8", "rungs": 9})
+        with pytest.raises(ConfigurationError, match="rungs must be an integer"):
+            SearchSpec.from_payload({"space": "figure8", "rungs": True})
+        with pytest.raises(ConfigurationError):
+            SearchSpec.from_payload({"space": "figure8",
+                                     "benchmarks": ["no-such-benchmark"]})
+
+    def test_rung_ladder_is_cheap_to_exact(self):
+        spec = SearchSpec.from_payload({"space": "figure8", "rungs": 2,
+                                        "instructions": 4000})
+        ladder = spec.rung_samplings()
+        assert ladder[-1] is None
+        sampled = ladder[:-1]
+        assert len(sampled) == 2
+        # Earlier rungs measure a smaller detailed fraction per stride.
+        assert sampled[0].window < sampled[1].window
+        assert all(s.window <= s.stride for s in sampled)
+
+    def test_short_budgets_collapse_to_exact_only(self):
+        spec = SearchSpec.from_payload({"space": "figure8", "rungs": 3,
+                                        "instructions": 100})
+        assert spec.rung_samplings() == [None]
+        assert quick_sampling(100) is None
+
+
+# ----------------------------------------------------------------------
+# service end-to-end
+# ----------------------------------------------------------------------
+
+
+class TestSearchService:
+    def test_submission_validation(self):
+        plan = validate_submission({"search": {"space": "figure8"}})
+        assert plan.kind == "search"
+        assert plan.search is not None
+        assert plan.spec["search"]["space"]["kind"] == "figure8"
+
+        with pytest.raises(ApiError) as excinfo:
+            validate_submission({"search": {"space": "nope"}})
+        assert excinfo.value.status == 422
+        assert excinfo.value.code == "invalid_search"
+
+        with pytest.raises(ApiError) as excinfo:
+            validate_submission({"search": {"space": "figure8"},
+                                 "figure": "figure6"})
+        assert excinfo.value.code == "invalid_spec"
+
+        with pytest.raises(ApiError) as excinfo:
+            validate_submission({"search": {"space": "figure8"},
+                                 "sample": "100:10"})
+        assert excinfo.value.code == "invalid_search"
+
+    def test_search_runs_and_warm_rerun_is_byte_identical(self, app):
+        request = {"search": {"space": TINY_SPACE, "instructions": 400,
+                              "rungs": 1}}
+        first_id = app.submit(json.loads(json.dumps(request))).id
+        first = wait_for(lambda: app.get_job(first_id))
+        assert first.state == COMPLETED, first.error
+        report = first.result["report"]
+        assert report["schema"] == 1
+        assert first.counters["executed"] > 0
+        assert first.counters["rungs"] == 2  # one sampled + the exact rung
+
+        frontier_labels = [point["label"] for point in report["frontier"]]
+        assert frontier_labels
+        # The cheapest design is non-dominated by construction, and it is
+        # also the paper's chosen single-banked point's little sibling;
+        # the chosen 3R2W must not be dominated by anything cheaper here.
+        assert "1-cycle/2R2W" in frontier_labels
+        costs = [point["area_units"] for point in report["frontier"]]
+        assert costs == sorted(costs)
+        # Audit trail: every rung records its budget, scores, survivors.
+        assert [entry["rung"] for entry in report["rungs"]] == [0, 1]
+        assert report["rungs"][0]["budget"]["mode"] == "sampled"
+        assert report["rungs"][1]["budget"]["mode"] == "exact"
+
+        second_id = app.submit(json.loads(json.dumps(request))).id
+        second = wait_for(lambda: app.get_job(second_id))
+        assert second.state == COMPLETED, second.error
+        assert second.counters["executed"] == 0
+        assert second.counters["cached"] == first.counters["requested"]
+        assert (json.dumps(second.result["report"], sort_keys=True)
+                == json.dumps(report, sort_keys=True))
+
+    def test_tied_nondominated_candidates_all_reach_the_frontier(self, app):
+        # 2R3W and 3R2W price identically (5 ports each); give them equal
+        # measured IPC too, so they tie exactly on (cost, value).  Both
+        # must survive into the frontier — the satellite pareto bugfix.
+        payload = {"space": TINY_SPACE, "instructions": 400, "rungs": 0}
+        spec = SearchSpec.from_payload(payload)
+        inject_results(app, spec, {
+            "1-cycle/2R2W": 0.40,
+            "1-cycle/2R3W": 0.50,
+            "1-cycle/3R2W": 0.50,
+            "1-cycle/3R3W": 0.45,
+        })
+        job_id = app.submit({"search": payload}).id
+        job = wait_for(lambda: app.get_job(job_id))
+        assert job.state == COMPLETED, job.error
+        assert job.counters["executed"] == 0  # everything pre-stored
+        frontier = job.result["report"]["frontier"]
+        by_label = {point["label"]: point for point in frontier}
+        assert "1-cycle/2R3W" in by_label and "1-cycle/3R2W" in by_label
+        assert (by_label["1-cycle/2R3W"]["area_units"]
+                == by_label["1-cycle/3R2W"]["area_units"])
+        assert (by_label["1-cycle/2R3W"]["ipc"]
+                == by_label["1-cycle/3R2W"]["ipc"])
+        # 3R3W is dominated (more area, less IPC than the tied pair).
+        assert "1-cycle/3R3W" not in by_label
+
+    def test_area_constraint_prunes_and_scalar_best(self, app):
+        payload = {"space": TINY_SPACE, "instructions": 400, "rungs": 0,
+                   "objective": "max ipc"}
+        spec = SearchSpec.from_payload(payload)
+        candidates = {c.label: c for c in spec.space.candidates}
+        cheap_area = area_units(candidates["1-cycle/2R2W"].geometry)
+        payload["constraints"] = [f"area_units <= {cheap_area + 1}"]
+        spec = SearchSpec.from_payload(payload)
+        assert [c.label for c in spec.admitted_candidates()] == \
+            ["1-cycle/2R2W"]
+        inject_results(app, spec, {"1-cycle/2R2W": 0.40})
+        job_id = app.submit({"search": payload}).id
+        job = wait_for(lambda: app.get_job(job_id))
+        assert job.state == COMPLETED, job.error
+        report = job.result["report"]
+        assert len(report["pruned_by_area"]) == 3
+        assert report["best"]["label"] == "1-cycle/2R2W"
+        assert [p["label"] for p in report["frontier"]] == ["1-cycle/2R2W"]
+
+    def test_constraint_pruning_everything_fails_the_job(self, app):
+        payload = {"space": TINY_SPACE, "instructions": 400,
+                   "constraints": {"max_area_units": 1}}
+        job_id = app.submit({"search": payload}).id
+        job = wait_for(lambda: app.get_job(job_id))
+        assert job.state == FAILED
+        assert job.error["code"] == "execution_error"
+        assert "prunes every candidate" in job.error["message"]
+
+    def test_search_shares_the_store_with_figure_style_point_jobs(self, app):
+        # A search over ground a points job already swept is a pure
+        # cache hit: the candidate labels are the figure sweep's
+        # architecture keys, so the store keys coincide.
+        payload = {"space": {"kind": "single-banked", "read_ports": [2],
+                             "write_ports": [2]},
+                   "instructions": 300, "rungs": 0}
+        points_spec = {"points": [{
+            "benchmark": "gcc",
+            "architecture": "1-cycle/2R2W",
+            "factory": {"type": "SingleBankedFactory",
+                        "parameters": {"latency": 1, "bypass_levels": 1,
+                                       "read_ports": 2, "write_ports": 2,
+                                       "name": "1-cycle single-banked"}},
+            "config": {"max_instructions": 300},
+        }]}
+        sweep_id = app.submit(points_spec).id
+        sweep = wait_for(lambda: app.get_job(sweep_id))
+        assert sweep.state == COMPLETED, sweep.error
+        assert sweep.counters["executed"] == 1
+
+        job_id = app.submit({"search": payload}).id
+        job = wait_for(lambda: app.get_job(job_id))
+        assert job.state == COMPLETED, job.error
+        assert job.counters["executed"] == 0
+        assert job.counters["cached"] == 1

@@ -1,0 +1,116 @@
+"""Observability correctness: monotonic rate clock, fleet aggregation.
+
+The uptime feeding the points/min rate must come from a *monotonic*
+clock (a wall-clock NTP step must not produce negative uptime or a
+garbage rate), and :meth:`ReplicaRegistry.fleet_metrics` must round —
+never truncate — float counters while surfacing malformed snapshot
+fields in ``snapshot_errors`` instead of silently dropping them.
+"""
+
+from __future__ import annotations
+
+from repro.service.app import ServiceApp
+from repro.service.fleet import ReplicaRegistry, _coerce_count
+
+
+class TestMonotonicUptime:
+    def _frozen_app(self):
+        app = ServiceApp(cache_dir=None, jobs=1)  # never started: pure reads
+        clock = {"now": 1000.0}
+        app._monotonic = lambda: clock["now"]
+        app._started_clock = clock["now"]
+        return app, clock
+
+    def test_uptime_follows_the_injected_monotonic_clock(self):
+        app, clock = self._frozen_app()
+        assert app.uptime_seconds() == 0.0
+        clock["now"] += 90.0
+        assert app.uptime_seconds() == 90.0
+        assert app.health()["uptime_seconds"] == 90.0
+        # Wall-clock start stays an ISO timestamp for humans.
+        assert app.started_at.startswith("20")
+
+    def test_points_per_minute_is_exact_under_a_frozen_clock(self):
+        app, clock = self._frozen_app()
+        with app._points_lock:
+            app._point_totals["completed"] = 10
+        clock["now"] += 120.0
+        metrics = app.metrics()
+        assert metrics["uptime_seconds"] == 120.0
+        assert metrics["points"]["per_minute"] == 5.0
+        # Zero uptime must not divide by zero.
+        app._started_clock = clock["now"]
+        assert app.metrics()["points"]["per_minute"] == 0.0
+
+
+class TestCoerceCount:
+    def test_floats_round_instead_of_truncating(self):
+        assert _coerce_count(10.6) == (11, True)
+        assert _coerce_count(10.4) == (10, True)
+        assert _coerce_count(7) == (7, True)
+
+    def test_non_numbers_and_bools_are_malformed(self):
+        assert _coerce_count("many") == (0, False)
+        assert _coerce_count(None) == (0, False)
+        assert _coerce_count(True) == (0, False)
+        assert _coerce_count([1]) == (0, False)
+
+
+class TestFleetAggregation:
+    def test_stale_and_malformed_snapshot_mix(self, tmp_path):
+        cache_dir = str(tmp_path)
+        clock = {"now": 100.0}
+
+        def registry(replica_id: str) -> ReplicaRegistry:
+            return ReplicaRegistry(cache_dir, replica_id=replica_id,
+                                   clock=lambda: clock["now"])
+
+        # beta published long ago: stale, but its finished work remains
+        # in the fleet totals.
+        registry("beta").publish({"points": {"completed": 7, "executed": 3,
+                                             "per_minute": 30.0}})
+        clock["now"] = 290.0
+        # alpha is fresh, with float counters from rate arithmetic: the
+        # old truncation would have under-counted completed by one.
+        registry("alpha").publish({"points": {"completed": 10.6,
+                                              "executed": 2.2,
+                                              "per_minute": 12.5}})
+        # gamma is fresh but half-corrupt: a string counter and a bool
+        # rate must be counted as errors, not zeroed into the totals.
+        registry("gamma").publish({"points": {"completed": "many",
+                                              "executed": 4,
+                                              "per_minute": True}})
+        # delta's snapshot carries no points section at all (legal: a
+        # replica that has not run anything yet), delta2's is garbage.
+        registry("delta").publish({})
+        registry("delta2").publish({"points": "corrupt"})
+
+        clock["now"] = 300.0
+        fleet = registry("alpha").fleet_metrics(fresh_within=60.0)
+
+        assert fleet["known_replicas"] == 5
+        assert fleet["active_replicas"] == 4  # all but beta
+        assert fleet["points"]["completed"] == 11 + 7  # rounded, not 10+7
+        assert fleet["points"]["executed"] == 2 + 3 + 4
+        # Only fresh replicas contribute to the aggregate rate, and
+        # gamma's bool rate is an error rather than a contribution.
+        assert fleet["per_minute"] == 12.5
+        # gamma: completed + per_minute; delta2: non-dict points.
+        assert fleet["snapshot_errors"] == 3
+
+        by_id = {replica["id"]: replica for replica in fleet["replicas"]}
+        assert by_id["beta"]["active"] is False
+        assert by_id["alpha"]["active"] is True
+        assert by_id["alpha"]["points"]["completed"] == 11
+        assert by_id["gamma"]["points"]["completed"] == 0
+        assert by_id["delta"]["points"]["completed"] == 0
+
+    def test_absent_points_fields_are_not_errors(self, tmp_path):
+        clock = {"now": 50.0}
+        registry = ReplicaRegistry(str(tmp_path), replica_id="solo",
+                                   clock=lambda: clock["now"])
+        registry.publish({"points": {"completed": 5}})
+        fleet = registry.fleet_metrics(fresh_within=60.0)
+        assert fleet["snapshot_errors"] == 0
+        assert fleet["points"]["completed"] == 5
+        assert fleet["points"]["executed"] == 0
