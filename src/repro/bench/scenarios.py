@@ -473,8 +473,128 @@ class ServiceScenario:
         }
 
 
-def service_scenarios(quick: bool = False) -> List[ServiceScenario]:
-    """The service-path scenario (quick-eligible, so CI gates it too)."""
+@dataclass(frozen=True)
+class ResilienceOverheadScenario:
+    """The chaos seams must cost nothing when no injector is installed.
+
+    Runs the same figure plan through the service twice on cold cache
+    trees: once with the seams disabled (the production default) and
+    once with a zero-fault injector installed (every seam guard takes
+    its slow path).  The scenario's throughput metric is the *disabled*
+    pass — directly comparable to ``service_throughput`` numbers such
+    as BENCH_6's — while the instrumented/disabled wall ratio lands in
+    the metadata.  Both passes must produce byte-identical results; a
+    divergence fails the run outright.
+    """
+
+    name: str
+    figure: str
+    instructions: int
+    warmup_instructions: int
+    benchmarks: tuple
+
+    def _one_pass(self) -> Dict[str, object]:
+        import shutil
+        import tempfile
+        import threading
+        import time as time_mod
+
+        from repro.errors import SimulationError
+        from repro.service.app import ServiceApp
+        from repro.service.client import ServiceClient
+        from repro.service.server import build_server
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-resilience-")
+        app = ServiceApp(cache_dir=tmp, jobs=1, job_concurrency=1)
+        server = build_server(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        app.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            started = time_mod.perf_counter()
+            job = client.submit({
+                "figure": self.figure,
+                "settings": {
+                    "instructions": self.instructions,
+                    "warmup_instructions": self.warmup_instructions,
+                    "benchmarks": list(self.benchmarks),
+                },
+            })
+            final = client.watch(job["id"], interval=0.05, timeout=1800)
+            wall = time_mod.perf_counter() - started
+            if final.get("state") != "completed":
+                raise SimulationError(
+                    f"resilience bench job did not complete: "
+                    f"{final.get('error')}"
+                )
+            result = client.result(job["id"])
+            digest = hashlib.sha256(
+                json.dumps(result["result"], sort_keys=True,
+                           separators=(",", ":"), default=str).encode("utf-8")
+            ).hexdigest()
+            return {
+                "points": int(final["counters"]["unique"]),
+                "wall_seconds": wall,
+                "digest": digest,
+            }
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def run(self) -> Dict[str, object]:
+        from repro.chaos import seams
+        from repro.chaos.faults import FaultInjector
+        from repro.errors import SimulationError
+
+        if seams.installed():
+            raise SimulationError(
+                "resilience bench needs the chaos seams disabled at entry"
+            )
+        disabled = self._one_pass()
+        seams.install(FaultInjector([]))
+        try:
+            instrumented = self._one_pass()
+        finally:
+            seams.uninstall()
+        if disabled["digest"] != instrumented["digest"]:
+            raise SimulationError(
+                "instrumented (no-fault) service pass diverged from the "
+                "plain pass — the seams are not transparent"
+            )
+        ratio = (
+            instrumented["wall_seconds"] / disabled["wall_seconds"]
+            if disabled["wall_seconds"] else 0.0
+        )
+        return {
+            "points": disabled["points"],
+            "summary": {
+                "disabled_wall_seconds": round(disabled["wall_seconds"], 3),
+                "instrumented_wall_seconds": round(
+                    instrumented["wall_seconds"], 3
+                ),
+                "instrumented_over_disabled": round(ratio, 3),
+            },
+            "stats_digest": disabled["digest"],
+        }
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "figure": self.figure,
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "benchmarks": list(self.benchmarks),
+            "transport": "http",
+            "passes": ["seams-disabled", "noop-injector"],
+        }
+
+
+def service_scenarios(quick: bool = False) -> List[object]:
+    """The service-path scenarios (quick-eligible, so CI gates them too)."""
     return [
         ServiceScenario(
             name="service_throughput/figure6",
@@ -482,7 +602,14 @@ def service_scenarios(quick: bool = False) -> List[ServiceScenario]:
             instructions=1500 if quick else 6000,
             warmup_instructions=300 if quick else 2000,
             benchmarks=("gcc", "swim"),
-        )
+        ),
+        ResilienceOverheadScenario(
+            name="resilience_overhead/figure6",
+            figure="figure6",
+            instructions=1500 if quick else 6000,
+            warmup_instructions=300 if quick else 2000,
+            benchmarks=("gcc",),
+        ),
     ]
 
 

@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.chaos import seams as _seams
 from repro.experiments.store import DEFAULT_CLAIM_TTL, ResultStore, simulation_key
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
@@ -145,6 +146,15 @@ def _recording_doubles_as_run(point: SimulationPoint) -> bool:
 def record_point_trace(point: SimulationPoint):
     """Record the group's trace; harvest the recording run as ``point``'s
     result when eligible.  Returns ``(trace, stats_or_None)``."""
+    if _seams.active is not None:
+        # Chaos seam: the recording run doubles as this point's
+        # execution on the jobs=1 path, so worker faults must be able
+        # to land here as well as in run_simulation_point.
+        _seams.active.fire(
+            "engine.point",
+            benchmark=point.benchmark,
+            architecture=point.architecture,
+        )
     harvest = _recording_doubles_as_run(point)
     trace, stats = record_trace_with_stats(
         point.benchmark,
@@ -174,6 +184,15 @@ def run_simulation_point(
     interval sampling over the trace instead (recorded here on demand —
     the sampling engine is trace-driven by construction).
     """
+    if _seams.active is not None:
+        # Chaos seam: slow / hung / crashing worker faults land here,
+        # before the simulation body, so the resilience layer above
+        # (deadlines, lease stealing, retries) is what gets exercised.
+        _seams.active.fire(
+            "engine.point",
+            benchmark=point.benchmark,
+            architecture=point.architecture,
+        )
     if point.sampling is not None:
         from repro.sampling.engine import sampled_simulate
 

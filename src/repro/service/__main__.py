@@ -76,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="job lease lifetime in seconds; a replica dead "
                             "longer than this has its jobs stolen "
                             "(default: 15)")
+    serve.add_argument("--claim-ttl", type=float, default=None,
+                       help="point claim lifetime in seconds; a point "
+                            "claimed by a replica dead longer than this is "
+                            "re-executed by whoever waits on it "
+                            "(default: 120)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="reject submissions with a structured 503 "
+                            "'overloaded' (plus Retry-After) once this many "
+                            "jobs are waiting (default: unbounded)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port(s), one per line, to this "
+                            "file once listening — pair with --port 0 for "
+                            "race-free ephemeral ports in scripts and CI")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress progress lines on stderr")
 
@@ -104,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="estimate every point by systematic interval "
                              "sampling instead of exact simulation "
                              "(server-validated; default: exact)")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="server-side wall-clock budget from submission; "
+                             "an unfinished job fails with cause "
+                             "deadline_exceeded (default: unbounded)")
     submit.add_argument("--wait", action="store_true",
                         help="watch the job until it finishes")
 
@@ -154,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: 2)")
     search.add_argument("--priority", type=int, default=0,
                         help="queue priority; higher runs first (default: 0)")
+    search.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="server-side wall-clock budget from submission; "
+                             "an unfinished search fails with cause "
+                             "deadline_exceeded (default: unbounded)")
     search.add_argument("--wait", action="store_true",
                         help="watch the search until it finishes")
 
@@ -208,6 +231,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     lease_kwargs = {}
     if args.lease_ttl is not None:
         lease_kwargs["lease_ttl"] = args.lease_ttl
+    if args.claim_ttl is not None:
+        lease_kwargs["claim_ttl"] = args.claim_ttl
 
     pairs = []  # (app, server) per replica
     for index in range(args.replicas):
@@ -221,6 +246,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             use_trace_replay=not args.no_trace_replay,
             progress=None if args.quiet else progress,
             replica_id=replica_id,
+            max_queue_depth=args.max_queue_depth,
             **lease_kwargs,
         )
         port = args.port + index if args.port else 0
@@ -245,6 +271,26 @@ def _run_serve(args: argparse.Namespace) -> int:
             f"replica={app.replica_id})",
             file=sys.stderr, flush=True,
         )
+
+    if args.port_file:
+        # Written only after every replica is bound and serving, so a
+        # script can block on the file's existence instead of polling
+        # the port (and `--port 0` becomes race-free in CI).
+        ports = "\n".join(
+            str(server.server_address[1]) for _, server in pairs
+        )
+        try:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(ports + "\n")
+        except OSError as error:
+            print(f"error: cannot write --port-file: {error}",
+                  file=sys.stderr)
+            for _, server in pairs:
+                server.shutdown()
+                server.server_close()
+            for app, _ in pairs:
+                app.stop(drain=False)
+            return 2
 
     stop = threading.Event()
 
@@ -305,6 +351,8 @@ def _run_submit(args: argparse.Namespace, client: ServiceClient) -> int:
             spec.setdefault("priority", args.priority)
             if args.sample is not None:
                 spec.setdefault("sample", args.sample)
+            if args.deadline is not None:
+                spec.setdefault("deadline_s", args.deadline)
     else:
         settings: dict = {}
         if args.instructions is not None:
@@ -319,6 +367,8 @@ def _run_submit(args: argparse.Namespace, client: ServiceClient) -> int:
             # Passed through verbatim; the server validates and echoes
             # the resolved spec (422 invalid_sampling on bad values).
             spec["sample"] = args.sample
+        if args.deadline is not None:
+            spec["deadline_s"] = args.deadline
     job = client.submit(spec)
     _print_job_line(job)
     print(job["id"])
@@ -376,6 +426,8 @@ def _run_search(args: argparse.Namespace, client: ServiceClient) -> int:
         if value is not None:
             spec[key] = value
     spec["priority"] = args.priority
+    if args.deadline is not None:
+        spec["deadline_s"] = args.deadline
 
     job = client.search(spec)
     _print_job_line(job)

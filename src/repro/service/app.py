@@ -36,6 +36,7 @@ from concurrent.futures.process import BrokenProcessPool
 from datetime import datetime, timezone
 from typing import Callable, Dict, List, Optional
 
+from repro.chaos import seams as _seams
 from repro.errors import ReproError
 from repro.experiments.common import SimulationCache
 from repro.experiments.scheduler import SweepEngine, dedupe_points
@@ -49,6 +50,7 @@ from repro.service.fleet import (
 )
 from repro.service.jobs import (
     COMPLETED,
+    DEFAULT_POISON_ATTEMPTS,
     FAILED,
     QUEUED,
     RUNNING,
@@ -66,6 +68,13 @@ METRICS_SCHEMA_VERSION = 1
 
 #: Progress sink for one-line status messages.
 ProgressCallback = Callable[[str], None]
+
+#: How often the deadline watchdog re-checks running/queued jobs.
+WATCHDOG_INTERVAL = 0.2
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: raised out of ``on_point`` when a job's budget is gone."""
 
 
 def _hit_rate(counters: Dict[str, int]) -> float:
@@ -88,11 +97,17 @@ class ServiceApp:
         lease_ttl: float = DEFAULT_LEASE_TTL,
         fleet_poll_interval: float = 1.0,
         claim_ttl: Optional[float] = None,
+        max_queue_depth: Optional[int] = None,
+        poison_attempts: int = DEFAULT_POISON_ATTEMPTS,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if job_concurrency < 1:
             raise ValueError("job_concurrency must be at least 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if poison_attempts < 1:
+            raise ValueError("poison_attempts must be at least 1")
         self.cache_dir = cache_dir
         self.progress = progress
         self.replica_id = replica_id or default_replica_id()
@@ -137,9 +152,17 @@ class ServiceApp:
             "remote_inflight": 0,
             "remote_reclaimed": 0,
         }
+        #: Backpressure: submissions beyond this queue depth are rejected
+        #: with a structured 503 ``overloaded`` (``None`` = unbounded).
+        self.max_queue_depth = max_queue_depth
+        #: Execution attempts before a job is quarantined as poisonous.
+        self.poison_attempts = poison_attempts
         self.resumed_jobs = 0
         self.adopted_jobs = 0
         self.stolen_jobs = 0
+        self.poisoned_jobs = 0
+        self.deadline_failures = 0
+        self.rejected_overloaded = 0
         #: Job ids this replica is executing right now; the fleet poller
         #: never refreshes or steals a job its own executor owns.
         self._running_ids: set = set()
@@ -168,6 +191,11 @@ class ServiceApp:
                 # The owning process died mid-job (no live lease); run it
                 # again from the top — completed points are all cache
                 # hits, so the rerun only pays for what was actually lost.
+                job.record_fault("resume_requeue", "owner died mid-job",
+                                 replica=self.replica_id)
+                if self._poison_check(job):
+                    self.queue.add(job, enqueue=False)
+                    continue
                 job.state = QUEUED
                 job.started_at = None
                 self.job_store.save(job)
@@ -188,6 +216,11 @@ class ServiceApp:
             )
             thread.start()
             self._threads.append(thread)
+        watchdog = threading.Thread(
+            target=self._watchdog_loop, name="deadline-watchdog", daemon=True
+        )
+        watchdog.start()
+        self._threads.append(watchdog)
         if self.cache_dir:
             for name, target in (
                 ("fleet-heartbeat", self._heartbeat_loop),
@@ -220,6 +253,16 @@ class ServiceApp:
 
     def submit(self, payload) -> Job:
         """Validate a submission and enqueue a job (raises ApiError)."""
+        if (self.max_queue_depth is not None
+                and self.queue.depth() >= self.max_queue_depth):
+            self.rejected_overloaded += 1
+            raise ApiError(
+                503, "overloaded",
+                f"job queue is full ({self.queue.depth()} waiting, "
+                f"cap {self.max_queue_depth}); retry after the backlog "
+                f"drains",
+                retry_after=2.0,
+            )
         plan = spec_mod.validate_submission(payload)
         job = Job(
             id=new_job_id(),
@@ -309,6 +352,81 @@ class ServiceApp:
                 self.leases.release(job.id)
 
     # ------------------------------------------------------------------
+    # deadlines and poison quarantine
+    # ------------------------------------------------------------------
+
+    def _deadline_remaining(self, job: Job) -> Optional[float]:
+        """Seconds left in the job's ``deadline_s`` budget; ``None`` when
+        the job has no deadline.  Anchored at submission, so the budget
+        covers queueing time, retries and steals — a job cannot dodge
+        its deadline by ping-ponging between replicas."""
+        deadline_s = (job.spec or {}).get("deadline_s")
+        if isinstance(deadline_s, bool) or not isinstance(deadline_s, (int, float)):
+            return None
+        try:
+            submitted = datetime.fromisoformat(job.submitted_at)
+        except (TypeError, ValueError):
+            return None
+        if submitted.tzinfo is None:
+            submitted = submitted.replace(tzinfo=timezone.utc)
+        elapsed = (datetime.now(timezone.utc) - submitted).total_seconds()
+        return float(deadline_s) - elapsed
+
+    def _watchdog_loop(self) -> None:
+        """Fail jobs past their deadline even when their executor hangs.
+
+        The executor checks the deadline between points, but a *hung*
+        worker never reaches the next point — this loop is the backstop
+        that still fails the job (first terminal mark wins; the sticky
+        ``mark_failed`` makes the race with a late executor harmless)
+        and releases the lease so nothing steals a terminal job.
+        """
+        while not self._stop.wait(WATCHDOG_INTERVAL):
+            for job in self.queue.jobs():
+                if job.terminal:
+                    continue
+                remaining = self._deadline_remaining(job)
+                if remaining is None or remaining > 0:
+                    continue
+                if job.mark_failed(
+                    "deadline_exceeded",
+                    f"job exceeded its {(job.spec or {}).get('deadline_s')}s "
+                    f"deadline",
+                ):
+                    job.record_fault("deadline_exceeded",
+                                     replica=self.replica_id)
+                    self.deadline_failures += 1
+                    self.job_store.save(job)
+                    self.leases.release(job.id)
+                    self._say(f"job {job.id}: failed [deadline_exceeded]")
+
+    def _poison_check(self, job: Job) -> bool:
+        """Quarantine a job that keeps dying mid-run; ``True`` if it was.
+
+        Called wherever a job is about to be re-queued for another
+        attempt (steal, crash-resume).  A job whose execution already
+        *started* ``poison_attempts`` times is terminally failed with
+        cause ``poisoned`` and its full record — fault history included —
+        lands in ``jobs/quarantine/`` instead of ping-ponging between
+        replicas forever.
+        """
+        if job.attempts < self.poison_attempts:
+            return False
+        if job.mark_failed(
+            "poisoned",
+            f"job kept dying mid-run; quarantined after {job.attempts} "
+            f"attempts (see fault_history)",
+        ):
+            self.poisoned_jobs += 1
+            self.job_store.quarantine_job(job)
+            self.leases.release(job.id)
+            self._say(
+                f"fleet: quarantined poison job {job.id} after "
+                f"{job.attempts} attempts"
+            )
+        return True
+
+    # ------------------------------------------------------------------
     # fleet control loops
     # ------------------------------------------------------------------
 
@@ -364,6 +482,10 @@ class ServiceApp:
                 job.update_from(latest)
             if job.state != RUNNING:
                 return
+            job.record_fault("lease_expired", "owner stopped heartbeating",
+                             replica=self.replica_id)
+            if self._poison_check(job):
+                return
             job.state = QUEUED
             job.started_at = None
             self.job_store.save(job)
@@ -374,6 +496,18 @@ class ServiceApp:
             self.leases.release(job.id)
 
     def _run_job(self, job: Job) -> None:
+        remaining = self._deadline_remaining(job)
+        if remaining is not None and remaining <= 0:
+            # Spent its whole budget queueing; never start it.
+            if job.mark_failed(
+                "deadline_exceeded",
+                f"job exceeded its {(job.spec or {}).get('deadline_s')}s "
+                f"deadline before starting",
+            ):
+                job.record_fault("deadline_exceeded", replica=self.replica_id)
+                self.deadline_failures += 1
+                self.job_store.save(job)
+            return
         job.mark_running()
         self.job_store.save(job)
         self._say(f"job {job.id}: running")
@@ -385,6 +519,13 @@ class ServiceApp:
             last_save = [time.monotonic()]
 
             def on_point(_point) -> None:
+                if job.terminal:
+                    # The deadline watchdog already failed this job; stop
+                    # burning simulation time on a dead record.
+                    raise _DeadlineExceeded()
+                left = self._deadline_remaining(job)
+                if left is not None and left <= 0:
+                    raise _DeadlineExceeded()
                 job.points["completed"] += 1
                 # Persist progress (throttled) so other replicas' watch
                 # requests see this job advance, not just start/finish.
@@ -425,7 +566,7 @@ class ServiceApp:
                 else:
                     result = spec_mod.assemble_points_result(plan, self.store)
             job.points["completed"] = counters["unique"]
-            job.mark_completed(result, counters)
+            completed = job.mark_completed(result, counters)
             with self._points_lock:
                 self._point_totals["unique"] += counters["unique"]
                 self._point_totals["completed"] += counters["unique"]
@@ -438,12 +579,21 @@ class ServiceApp:
                 self._point_totals["remote_reclaimed"] += counters.get(
                     "remote_reclaimed", 0
                 )
-            self._say(
-                f"job {job.id}: completed ({counters['executed']} executed, "
-                f"{counters['cached']} cached, "
-                f"{counters['shared_inflight']} shared in-flight, "
-                f"{counters.get('remote_inflight', 0)} remote in-flight)"
-            )
+            if completed:
+                self._say(
+                    f"job {job.id}: completed ({counters['executed']} executed, "
+                    f"{counters['cached']} cached, "
+                    f"{counters['shared_inflight']} shared in-flight, "
+                    f"{counters.get('remote_inflight', 0)} remote in-flight)"
+                )
+        except _DeadlineExceeded:
+            if job.mark_failed(
+                "deadline_exceeded",
+                f"job exceeded its {(job.spec or {}).get('deadline_s')}s "
+                f"deadline mid-run",
+            ):
+                job.record_fault("deadline_exceeded", replica=self.replica_id)
+                self.deadline_failures += 1
         except ApiError as error:
             job.mark_failed(error.code, error.message)
         except BrokenProcessPool as error:
@@ -473,12 +623,53 @@ class ServiceApp:
         return round(self._monotonic() - self._started_clock, 1)
 
     def health(self) -> dict:
+        """Liveness plus per-component state.
+
+        ``status`` is ``"ok"`` when every component is, ``"degraded"``
+        when any component is impaired but the service still answers
+        (read-only storage, saturated queue) — distinct from *down*,
+        which a client only ever observes as a connection failure.
+        """
+        storage_stats = self.store.storage_stats()
+        storage_read_only = bool(storage_stats.get("read_only", 0))
+        storage_degraded = (
+            storage_read_only or self.job_store.save_errors > 0
+        )
+        depth = self.queue.depth()
+        queue_saturated = (
+            self.max_queue_depth is not None
+            and depth >= self.max_queue_depth
+        )
+        pool_resets = self.engine.totals().get("pool_resets", 0)
+        components = {
+            "storage": {
+                "status": "degraded" if storage_degraded else "ok",
+                "writable": not storage_read_only,
+                "write_errors": (storage_stats.get("write_errors", 0)
+                                 + self.job_store.save_errors),
+            },
+            "pool": {
+                # The warm pool self-heals (a broken pool is torn down
+                # and rebuilt), so resets are a health *signal*, not a
+                # degradation by themselves.
+                "status": "ok",
+                "resets": pool_resets,
+            },
+            "queue": {
+                "status": "saturated" if queue_saturated else "ok",
+                "depth": depth,
+                "max_depth": self.max_queue_depth,
+            },
+        }
+        degraded = storage_degraded or queue_saturated
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "version": __version__,
             "started_at": self.started_at,
             "uptime_seconds": self.uptime_seconds(),
             "jobs": self.queue.by_state(),
+            "components": components,
+            "chaos": _seams.installed(),
         }
 
     def _snapshot(self) -> dict:
@@ -514,9 +705,15 @@ class ServiceApp:
             "version": __version__,
             "started_at": self.started_at,
             "uptime_seconds": uptime,
-            "queue": {"depth": self.queue.depth()},
+            "queue": {
+                "depth": self.queue.depth(),
+                "max_depth": self.max_queue_depth,
+                "rejected_overloaded": self.rejected_overloaded,
+            },
             "jobs": {**by_state, "total": sum(by_state.values()),
-                     "resumed": self.resumed_jobs},
+                     "resumed": self.resumed_jobs,
+                     "poisoned": self.poisoned_jobs,
+                     "deadline_failures": self.deadline_failures},
             "points": points,
             "result_cache": {**result_cache, "hit_rate": _hit_rate(result_cache)},
             "trace_cache": {**trace_cache, "hit_rate": _hit_rate(trace_cache)},
@@ -529,6 +726,7 @@ class ServiceApp:
             "job_store": {
                 "persistent": bool(self.job_store.job_dir),
                 "quarantined": self.job_store.quarantined,
+                "save_errors": self.job_store.save_errors,
             },
             "storage": {
                 "results": self.store.storage_stats(),

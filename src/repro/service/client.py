@@ -4,10 +4,23 @@
 re-raised as :class:`ServiceError` carrying the server's structured
 ``error.code``/``message`` verbatim, so the client CLI can print exactly
 what the service said.
+
+**Retries.**  Transport failures (connection refused/reset, timeouts,
+dropped responses) and transient server rejections (``503 overloaded``,
+``429``) are retried with exponential backoff and *full jitter* — each
+delay is drawn uniformly from ``[0, min(cap, base * 2**attempt)]``, so a
+thundering herd of clients spreads out instead of re-colliding — under
+two limits: at most ``retries`` re-attempts, and never past the
+``retry_budget_s`` wall-clock budget per call.  A ``Retry-After`` the
+server sent is honored as the delay floor.  Retrying is safe across the
+whole API: reads are idempotent, and a doubly-delivered submission only
+re-requests simulation points the store already dedupes (the duplicate
+job completes from cache).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
@@ -21,32 +34,72 @@ from repro.service.jobs import TERMINAL_STATES
 #: Default address of ``python -m repro.service serve``.
 DEFAULT_URL = "http://127.0.0.1:8642"
 
+#: HTTP statuses that mark a *transient* server-side rejection.
+RETRYABLE_STATUSES = (429, 503)
+
 
 class ServiceError(ReproError):
-    """A request the service rejected (or could not be delivered at all)."""
+    """A request the service rejected (or could not be delivered at all).
+
+    ``retry_after`` carries the server's suggested backoff (from the
+    ``Retry-After`` header or the structured error body), when present.
+    """
 
     def __init__(self, message: str, code: str = "unreachable",
-                 status: Optional[int] = None) -> None:
+                 status: Optional[int] = None,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.code = code
         self.status = status
+        self.retry_after = retry_after
 
     def __str__(self) -> str:
         prefix = f"[{self.code}] " if self.code else ""
         return f"{prefix}{super().__str__()}"
 
 
+def _parse_retry_after(value) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header/body value (delta form only)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return seconds if seconds >= 0 else None
+
+
 class ServiceClient:
     """Typed access to every endpoint of the sweep service."""
 
-    def __init__(self, base_url: str = DEFAULT_URL, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str = DEFAULT_URL,
+        timeout: float = 60.0,
+        retries: int = 3,
+        retry_base: float = 0.05,
+        retry_cap: float = 2.0,
+        retry_budget_s: float = 30.0,
+        _sleep=time.sleep,
+        _clock=time.monotonic,
+        _rng: Optional[random.Random] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.retry_budget_s = retry_budget_s
+        #: Total re-attempts made over this client's lifetime.
+        self.retried = 0
+        self._sleep = _sleep
+        self._clock = _clock
+        self._rng = _rng if _rng is not None else random.Random()
 
     # ------------------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None, raw: bool = False):
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None, raw: bool = False):
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -60,15 +113,24 @@ class ServiceClient:
                 body = response.read().decode("utf-8")
         except urllib.error.HTTPError as error:
             body = error.read().decode("utf-8", errors="replace")
+            retry_after = _parse_retry_after(error.headers.get("Retry-After"))
             try:
                 detail = json.loads(body)["error"]
+                if retry_after is None:
+                    retry_after = _parse_retry_after(detail.get("retry_after"))
                 raise ServiceError(str(detail.get("message", body)),
                                    code=str(detail.get("code", "http_error")),
-                                   status=error.code) from error
+                                   status=error.code,
+                                   retry_after=retry_after) from error
             except (ValueError, KeyError, TypeError):
                 raise ServiceError(f"HTTP {error.code}: {body.strip()}",
-                                   code="http_error", status=error.code) from error
-        except (urllib.error.URLError, OSError, TimeoutError) as error:
+                                   code="http_error", status=error.code,
+                                   retry_after=retry_after) from error
+        except (urllib.error.URLError, OSError, TimeoutError,
+                http.client.HTTPException) as error:
+            # Connection refused (restarting replica), reset mid-response,
+            # dropped responses (RemoteDisconnected / BadStatusLine) and
+            # timeouts all land here — every one is retryable.
             raise ServiceError(
                 f"cannot reach sweep service at {self.base_url}: {error}"
             ) from error
@@ -80,6 +142,33 @@ class ServiceClient:
             raise ServiceError(
                 f"service returned invalid JSON: {error}", code="bad_response"
             ) from error
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None, raw: bool = False):
+        """One API call with the retry policy of the class docstring."""
+        started = self._clock()
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload, raw)
+            except ServiceError as error:
+                transient = (
+                    error.code == "unreachable"
+                    or error.status in RETRYABLE_STATUSES
+                )
+                if not transient or attempt >= self.retries:
+                    raise
+                # Full jitter: uniform in [0, min(cap, base * 2^attempt)].
+                delay = self._rng.uniform(
+                    0.0, min(self.retry_cap, self.retry_base * (2 ** attempt))
+                )
+                if error.retry_after is not None:
+                    delay = max(delay, error.retry_after)
+                if self._clock() - started + delay > self.retry_budget_s:
+                    raise  # out of retry budget; surface the last error
+                attempt += 1
+                self.retried += 1
+                self._sleep(delay)
 
     # ------------------------------------------------------------------
 
@@ -139,6 +228,7 @@ class ServiceClient:
         max_interval: Optional[float] = None,
         backoff: float = 1.6,
         jitter: float = 0.2,
+        unreachable_timeout: Optional[float] = 60.0,
         _sleep=time.sleep,
         _clock=time.time,
     ) -> dict:
@@ -155,6 +245,13 @@ class ServiceClient:
         so many watchers of one queued job don't poll in lockstep.  Any
         progress resets the delay to ``interval``.  ``_sleep``/``_clock``
         are injectable for tests.
+
+        A temporarily *unreachable* service (a replica restarting, a
+        connection refused between polls) is treated as lack of progress,
+        not an error: the watch keeps polling within the same backoff
+        loop and only raises once the service has been continuously
+        unreachable for ``unreachable_timeout`` seconds (``None`` waits
+        forever, bounded only by ``timeout``).
         """
         if max_interval is None:
             max_interval = max(interval, 8.0)
@@ -162,8 +259,29 @@ class ServiceClient:
         delay = interval
         last_completed = -1
         last_state: Optional[str] = None
+        unreachable_since: Optional[float] = None
         while True:
-            job = self.status(job_id)
+            try:
+                job = self.status(job_id)
+            except ServiceError as error:
+                if error.code != "unreachable":
+                    raise
+                now = _clock()
+                if unreachable_since is None:
+                    unreachable_since = now
+                if (unreachable_timeout is not None
+                        and now - unreachable_since > unreachable_timeout):
+                    raise
+                if deadline is not None and now > deadline:
+                    raise ServiceError(
+                        f"timed out after {timeout:.0f}s waiting for job "
+                        f"{job_id} (service unreachable)",
+                        code="watch_timeout",
+                    ) from error
+                delay = min(delay * backoff, max_interval)
+                _sleep(delay * (1.0 + jitter * (2.0 * random.random() - 1.0)))
+                continue
+            unreachable_since = None
             state = job.get("state")
             completed = int(job.get("points", {}).get("completed", 0))
             progressed = completed != last_completed or state != last_state

@@ -16,6 +16,7 @@ is a miss, never a crash.
 
 from __future__ import annotations
 
+import errno
 import itertools
 import json
 import os
@@ -27,6 +28,7 @@ from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
+from repro.chaos import seams as _seams
 from repro.version import __version__
 
 #: Bump when the on-disk job payload layout changes; mismatching files
@@ -49,6 +51,13 @@ STATES = (QUEUED, RUNNING, COMPLETED, FAILED)
 
 #: States a job can never leave.
 TERMINAL_STATES = (COMPLETED, FAILED)
+
+#: Fault-history entries kept per job (oldest dropped beyond this).
+FAULT_HISTORY_LIMIT = 20
+
+#: Execution attempts (first run + re-queues/steals) before a job is
+#: declared poisonous and quarantined instead of retried again.
+DEFAULT_POISON_ATTEMPTS = 3
 
 
 def _now() -> str:
@@ -80,6 +89,20 @@ class Job:
     counters: Optional[dict] = None
     error: Optional[dict] = None
     result: Optional[dict] = None
+    #: Times execution has *started* for this job — the first run and
+    #: every re-queue after a crash/steal each count one.  Drives the
+    #: poison-job quarantine threshold.
+    attempts: int = 0
+    #: Bounded, append-only log of what went wrong along the way
+    #: (steals, crashes, deadline kills), persisted with the record so a
+    #: quarantined job carries its own post-mortem.
+    fault_history: List[dict] = field(default_factory=list)
+    #: Guards terminal transitions: a deadline watchdog and the executor
+    #: may race to finish one job — first terminal mark wins, later ones
+    #: are no-ops.  Not part of the persisted record.
+    _state_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def terminal(self) -> bool:
@@ -88,21 +111,47 @@ class Job:
     # ------------------------------------------------------------------
 
     def mark_running(self) -> None:
-        self.state = RUNNING
-        self.started_at = _now()
+        with self._state_lock:
+            self.state = RUNNING
+            self.started_at = _now()
+            self.attempts += 1
 
-    def mark_completed(self, result: dict, counters: dict) -> None:
-        # Publish the payload before flipping the state: readers in other
-        # threads treat a terminal state as "the result is there".
-        self.result = result
-        self.counters = counters
-        self.finished_at = _now()
-        self.state = COMPLETED
+    def mark_completed(self, result: dict, counters: dict) -> bool:
+        """Complete the job; ``False`` (no-op) if already terminal."""
+        with self._state_lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            # Publish the payload before flipping the state: readers in
+            # other threads treat a terminal state as "the result is
+            # there".
+            self.result = result
+            self.counters = counters
+            self.finished_at = _now()
+            self.state = COMPLETED
+            return True
 
-    def mark_failed(self, code: str, message: str) -> None:
-        self.error = {"code": code, "message": message}
-        self.finished_at = _now()
-        self.state = FAILED
+    def mark_failed(self, code: str, message: str) -> bool:
+        """Fail the job; ``False`` (no-op) if already terminal."""
+        with self._state_lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.error = {"code": code, "message": message}
+            self.finished_at = _now()
+            self.state = FAILED
+            return True
+
+    def record_fault(self, event: str, detail: str = "",
+                     replica: Optional[str] = None) -> None:
+        """Append one structured entry to the job's fault history."""
+        entry = {"at": _now(), "event": event}
+        if detail:
+            entry["detail"] = detail
+        if replica:
+            entry["replica"] = replica
+        with self._state_lock:
+            self.fault_history.append(entry)
+            if len(self.fault_history) > FAULT_HISTORY_LIMIT:
+                del self.fault_history[: -FAULT_HISTORY_LIMIT]
 
     def update_from(self, other: "Job") -> None:
         """Adopt another replica's persisted view of this same job.
@@ -124,6 +173,8 @@ class Job:
         self.counters = other.counters
         self.error = other.error
         self.result = other.result
+        self.attempts = other.attempts
+        self.fault_history = list(other.fault_history)
 
     # ------------------------------------------------------------------
 
@@ -141,6 +192,8 @@ class Job:
             "points": dict(self.points),
             "counters": self.counters,
             "error": self.error,
+            "attempts": self.attempts,
+            "fault_history": list(self.fault_history),
         }
         if include_result:
             payload["result"] = self.result
@@ -173,6 +226,10 @@ class Job:
             counters=payload.get("counters"),
             error=payload.get("error"),
             result=payload.get("result"),
+            # Pre-resilience records carry neither field; defaulting
+            # keeps SCHEMA_VERSION at 1 and old files loadable.
+            attempts=int(payload.get("attempts", 0)),
+            fault_history=list(payload.get("fault_history") or []),
         )
 
 
@@ -193,6 +250,10 @@ class JobStore:
         self.cache_dir = cache_dir
         self.job_dir = os.path.join(cache_dir, JOB_SUBDIR) if cache_dir else None
         self.quarantined = 0
+        #: Persist attempts dropped because the disk was full; the job
+        #: lives on in memory, so a full disk degrades durability (a
+        #: restart forgets recent transitions) without failing jobs.
+        self.save_errors = 0
         if self.job_dir:
             os.makedirs(self.job_dir, exist_ok=True)
 
@@ -202,21 +263,34 @@ class JobStore:
     # ------------------------------------------------------------------
 
     def save(self, job: Job) -> None:
-        """Persist one job record (atomic replace; no-op without a dir)."""
+        """Persist one job record (atomic replace; no-op without a dir).
+
+        ENOSPC is absorbed: the write is dropped and counted in
+        ``save_errors`` rather than failing the job — the in-memory
+        record stays authoritative for this process's lifetime.
+        """
         if not self.job_dir:
             return
         payload = job.to_dict(include_result=True)
-        fd, tmp_path = tempfile.mkstemp(dir=self.job_dir, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, default=str)
-            os.replace(tmp_path, self._path(job.id))
-        except OSError:
+            if _seams.active is not None:
+                _seams.active.fire("jobs.save", job_id=job.id,
+                                   state=job.state)
+            fd, tmp_path = tempfile.mkstemp(dir=self.job_dir, suffix=".tmp")
             try:
-                os.unlink(tmp_path)
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, default=str)
+                os.replace(tmp_path, self._path(job.id))
             except OSError:
-                pass
-            raise
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError as error:
+            if error.errno != errno.ENOSPC:
+                raise
+            self.save_errors += 1
 
     def load(self, job_id: str) -> Optional[Job]:
         """Read one job record back from disk; ``None`` when missing or
@@ -240,6 +314,33 @@ class JobStore:
         except OSError:
             pass
         self.quarantined += 1
+
+    def quarantine_job(self, job: Job) -> None:
+        """Land a poisonous job's full record in ``jobs/quarantine/``.
+
+        Called after the job has been terminally failed (cause
+        ``poisoned``): the record — fault history included — is written
+        into the quarantine directory and the live job file is replaced
+        by it, so no replica's resume/steal path will ever pick the job
+        up again.
+        """
+        if not self.job_dir:
+            return
+        quarantine_dir = os.path.join(self.job_dir, QUARANTINE_SUBDIR)
+        payload = job.to_dict(include_result=True)
+        try:
+            os.makedirs(quarantine_dir, exist_ok=True)
+            target = os.path.join(quarantine_dir, f"{job.id}.json")
+            with open(target, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, default=str)
+        except OSError:
+            # Quarantine-on-a-full-disk still works in memory: the job
+            # is terminally failed either way.
+            pass
+        self.quarantined += 1
+        # Keep the primary record too (terminal, so never re-queued) so
+        # status queries keep answering after a restart.
+        self.save(job)
 
     def load_all(self) -> List[Job]:
         """Every readable job record, oldest submission first.

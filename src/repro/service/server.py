@@ -22,10 +22,13 @@ client never sees an HTML traceback.
 from __future__ import annotations
 
 import json
+import socket
+import struct
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.chaos import seams as _seams
 from repro.service.app import ServiceApp
 from repro.service.spec import ApiError
 
@@ -54,16 +57,53 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload, indent=2, sort_keys=True, default=str)
         self._send_body(status, body + "\n", "application/json")
 
-    def _send_body(self, status: int, body: str, content_type: str) -> None:
+    def _send_body(self, status: int, body: str, content_type: str,
+                   retry_after: Optional[float] = None) -> None:
+        if _seams.active is not None:
+            # Chaos seam: dropped / delayed / connection-reset responses.
+            # The request was fully processed server-side — exactly the
+            # ambiguity (did my idempotent submit land?) the client's
+            # retry layer must absorb.
+            directive = _seams.active.fire(
+                "http.response", method=self.command, path=self.path,
+                status=status,
+            )
+            if directive == "drop":
+                # Close without writing a response: the client sees an
+                # empty reply / connection closed mid-request.
+                self.close_connection = True
+                try:
+                    self.connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return
+            if directive == "reset":
+                # RST instead of FIN: SO_LINGER with zero timeout makes
+                # close() abort the connection.
+                self.close_connection = True
+                try:
+                    self.connection.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                    self.connection.close()
+                except OSError:
+                    pass
+                return
         encoded = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", f"{content_type}; charset=utf-8")
         self.send_header("Content-Length", str(len(encoded)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, int(retry_after))))
         self.end_headers()
         self.wfile.write(encoded)
 
     def _send_error(self, error: ApiError) -> None:
-        self._send_json(error.status, error.to_dict())
+        body = json.dumps(error.to_dict(), indent=2, sort_keys=True,
+                          default=str)
+        self._send_body(error.status, body + "\n", "application/json",
+                        retry_after=getattr(error, "retry_after", None))
 
     # ------------------------------------------------------------------
 
@@ -172,7 +212,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                                    "search request body must be a JSON object")
                 payload = dict(payload)
                 priority = payload.pop("priority", 0)
+                deadline_s = payload.pop("deadline_s", None)
                 payload = {"search": payload, "priority": priority}
+                if deadline_s is not None:
+                    payload["deadline_s"] = deadline_s
             job = self.app.submit(payload)
             self._send_json(202, job.to_dict())
         except ApiError as error:

@@ -59,16 +59,27 @@ from repro.search.driver import SearchSpec
 
 
 class ApiError(Exception):
-    """A structured, JSON-serializable request rejection."""
+    """A structured, JSON-serializable request rejection.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` (seconds) marks the rejection as *transient*: the
+    HTTP layer emits it as a ``Retry-After`` header and well-behaved
+    clients back off and retry instead of failing (the 503
+    ``overloaded`` rejection of a full queue is the canonical case).
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
     def to_dict(self) -> dict:
-        return {"error": {"code": self.code, "message": self.message}}
+        error = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
 
 
 #: Factory types explicit-point submissions may reference.
@@ -105,6 +116,10 @@ class JobPlan:
     search: Optional[SearchSpec] = None
     #: The canonical spec echoed in job records.
     spec: Optional[dict] = None
+    #: Wall-clock budget from submission, seconds; ``None`` = unbounded.
+    #: Enforced server-side: a job still unfinished ``deadline_s``
+    #: after submission fails with cause ``deadline_exceeded``.
+    deadline_s: Optional[float] = None
 
     def plan_points(self) -> List[SimulationPoint]:
         if self.points:  # planned at validation time, figures and explicit alike
@@ -273,6 +288,14 @@ def validate_submission(payload) -> JobPlan:
     priority = payload.get("priority", 0)
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ApiError(422, "invalid_spec", "priority must be an integer")
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if (isinstance(deadline_s, bool)
+                or not isinstance(deadline_s, (int, float))
+                or deadline_s <= 0):
+            raise ApiError(422, "invalid_spec",
+                           "deadline_s must be a positive number of seconds")
+        deadline_s = float(deadline_s)
     sampling = _build_sampling(payload)
 
     if has_search:
@@ -289,7 +312,10 @@ def validate_submission(payload) -> JobPlan:
         # The echo must round-trip: resumed jobs re-validate their
         # persisted spec, so the search has to rebuild exactly.
         spec = {"search": search.to_payload(), "priority": priority}
-        return JobPlan(kind="search", search=search, spec=spec)
+        if deadline_s is not None:
+            spec["deadline_s"] = deadline_s
+        return JobPlan(kind="search", search=search, spec=spec,
+                       deadline_s=deadline_s)
 
     if has_figure:
         figure = payload["figure"]
@@ -322,6 +348,8 @@ def validate_submission(payload) -> JobPlan:
             # The echo must round-trip: resumed jobs re-validate their
             # persisted spec, so the sampled plan has to rebuild exactly.
             spec["sample"] = sampling.to_payload()
+        if deadline_s is not None:
+            spec["deadline_s"] = deadline_s
         # Planning validates the benchmark filter against each figure's
         # suites (a filter that excludes everything surfaces here), and
         # the points are kept on the plan so admission and execution
@@ -331,7 +359,7 @@ def validate_submission(payload) -> JobPlan:
         except ReproError as error:
             raise ApiError(422, "invalid_settings", str(error)) from error
         return JobPlan(kind="figures", figures=figures, settings=settings,
-                       points=tuple(points), spec=spec)
+                       points=tuple(points), spec=spec, deadline_s=deadline_s)
 
     raw_points = payload["points"]
     if not isinstance(raw_points, list) or not raw_points:
@@ -344,7 +372,10 @@ def validate_submission(payload) -> JobPlan:
     spec = {"points": list(raw_points), "priority": priority}
     if sampling is not None:
         spec["sample"] = sampling.to_payload()
-    return JobPlan(kind="points", points=points, spec=spec)
+    if deadline_s is not None:
+        spec["deadline_s"] = deadline_s
+    return JobPlan(kind="points", points=points, spec=spec,
+                   deadline_s=deadline_s)
 
 
 # ----------------------------------------------------------------------

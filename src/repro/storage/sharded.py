@@ -37,6 +37,7 @@ duration of an append or compaction; reads never take the file lock.
 
 from __future__ import annotations
 
+import errno
 import os
 import re
 import threading
@@ -45,6 +46,7 @@ from dataclasses import dataclass, field
 from time import time as _wall_clock
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.chaos import seams as _seams
 from repro.storage import segment as seg
 
 try:  # pragma: no cover - POSIX-only; the no-op fallback keeps imports safe
@@ -104,6 +106,7 @@ class _Counters:
     expired_dropped: int = 0
     torn_tails: int = 0
     rebuilds: int = 0
+    write_errors: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -139,7 +142,23 @@ class ShardedStore:
         self.counters = _Counters()
         self._shards: Dict[int, _Shard] = {}
         self._shards_lock = threading.Lock()
+        #: Sticky degradation flag: set on the first ENOSPC and never
+        #: cleared within the process (a full disk rarely un-fills
+        #: itself; a restart after freeing space recovers).  While set,
+        #: writes are skipped instead of retried — callers above keep
+        #: serving from their memory tiers.
+        self._read_only = threading.Event()
         os.makedirs(root, exist_ok=True)
+
+    @property
+    def read_only(self) -> bool:
+        """Whether the store has degraded to read-only after ENOSPC."""
+        return self._read_only.is_set()
+
+    def _degrade(self, error: OSError) -> None:
+        self._read_only.set()
+        with self.counters.lock:
+            self.counters.write_errors += 1
 
     # ------------------------------------------------------------------
     # shard routing and state
@@ -372,6 +391,10 @@ class ShardedStore:
     def _append_locked(self, shard: _Shard, meta: dict, data: bytes) -> None:
         """Append one record; caller holds both shard locks and has
         refreshed the index (so ``scanned`` marks the valid end)."""
+        if _seams.active is not None:
+            _seams.active.fire(
+                "storage.append", op=meta.get("op"), key=meta.get("k"),
+            )
         segment_id = self._active_segment(shard)
         path = self._segment_path(shard, segment_id)
         packed = seg.pack_record(meta, data)
@@ -388,26 +411,47 @@ class ShardedStore:
         shard.scanned[segment_id] = record.end_offset
 
     def put(self, key: str, data: bytes) -> None:
-        """Store ``data`` under ``key`` (last writer wins, claim released)."""
+        """Store ``data`` under ``key`` (last writer wins, claim released).
+
+        On ENOSPC the store degrades to read-only instead of raising:
+        the write is dropped (callers keep the value in their memory
+        tier), ``write_errors`` is counted and :attr:`read_only` goes
+        sticky so later writes are skipped without touching the disk.
+        """
+        if self._read_only.is_set():
+            return
         shard = self._shard(self.shard_of(key))
         with shard.lock, self._file_lock(shard):
             self._refresh(shard)
-            self._append_locked(
-                shard, {"k": key, "op": "put", "t": self.clock()}, data
-            )
-            if self._needs_compaction(shard):
-                self._compact_locked(shard)
+            try:
+                self._append_locked(
+                    shard, {"k": key, "op": "put", "t": self.clock()}, data
+                )
+                if self._needs_compaction(shard):
+                    self._compact_locked(shard)
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._degrade(error)
 
     def delete(self, key: str) -> bool:
         """Append a tombstone; returns whether the key was present."""
+        if self._read_only.is_set():
+            return False
         shard = self._shard(self.shard_of(key))
         with shard.lock, self._file_lock(shard):
             self._refresh(shard)
             if key not in shard.index:
                 return False
-            self._append_locked(
-                shard, {"k": key, "op": "del", "t": self.clock()}, b""
-            )
+            try:
+                self._append_locked(
+                    shard, {"k": key, "op": "del", "t": self.clock()}, b""
+                )
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._degrade(error)
+                return False
             return True
 
     # ------------------------------------------------------------------
@@ -421,8 +465,19 @@ class ShardedStore:
         renews the deadline), ``(False, holder)`` when another owner's
         unexpired claim holds the key, and ``(False, None)`` when a live
         value already exists — the caller should simply read it.
+
+        While :attr:`read_only` (ENOSPC degradation), claims cannot be
+        persisted; the grant is returned without a record, degrading
+        cross-replica single-flight to each replica's in-process dedup.
         """
         shard = self._shard(self.shard_of(key))
+        if self._read_only.is_set():
+            with shard.lock:
+                self._refresh(shard)
+                entry = shard.index.get(key)
+                if entry is not None and not self._expired(entry.ts):
+                    return False, None
+            return True, owner
         with shard.lock, self._file_lock(shard):
             self._refresh(shard)
             entry = shard.index.get(key)
@@ -432,24 +487,36 @@ class ShardedStore:
             if current is not None and self._claim_live(current) and current[0] != owner:
                 return False, current[0]
             now = self.clock()
-            self._append_locked(
-                shard,
-                {"k": key, "op": "claim", "o": owner, "d": now + ttl, "t": now},
-                b"",
-            )
+            try:
+                self._append_locked(
+                    shard,
+                    {"k": key, "op": "claim", "o": owner, "d": now + ttl, "t": now},
+                    b"",
+                )
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._degrade(error)
             return True, owner
 
     def release(self, key: str, owner: str) -> bool:
         """Release ``owner``'s claim on ``key`` (no-op if not held)."""
+        if self._read_only.is_set():
+            return False
         shard = self._shard(self.shard_of(key))
         with shard.lock, self._file_lock(shard):
             self._refresh(shard)
             current = shard.claims.get(key)
             if current is None or current[0] != owner:
                 return False
-            self._append_locked(
-                shard, {"k": key, "op": "rel", "o": owner, "t": self.clock()}, b""
-            )
+            try:
+                self._append_locked(
+                    shard, {"k": key, "op": "rel", "o": owner, "t": self.clock()}, b""
+                )
+            except OSError as error:
+                if error.errno != errno.ENOSPC:
+                    raise
+                self._degrade(error)
             return True
 
     def claim_holder(self, key: str) -> Optional[Tuple[str, float]]:
@@ -560,6 +627,8 @@ class ShardedStore:
 
     def compact(self) -> None:
         """Force-compact every shard that has any data on disk."""
+        if self._read_only.is_set():
+            return
         for i in range(self.num_shards):
             shard = self._shard(i)
             if not os.path.isdir(shard.directory):
@@ -606,4 +675,6 @@ class ShardedStore:
                 "expired_dropped": self.counters.expired_dropped,
                 "torn_tails": self.counters.torn_tails,
                 "rebuilds": self.counters.rebuilds,
+                "write_errors": self.counters.write_errors,
+                "read_only": int(self._read_only.is_set()),
             }

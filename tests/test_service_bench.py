@@ -32,12 +32,15 @@ class TestServiceScenario:
         assert result.metadata["job_counters"]["executed"] == 3
 
     def test_scenario_is_quick_eligible_and_stably_named(self):
-        (quick,) = service_scenarios(quick=True)
-        (full,) = service_scenarios(quick=False)
+        quick, quick_resilience = service_scenarios(quick=True)
+        full, full_resilience = service_scenarios(quick=False)
         # The perf gate matches scenarios by name across reports, so the
         # quick CI run must carry the same name as the committed baseline.
         assert quick.name == full.name == "service_throughput/figure6"
         assert quick.instructions < full.instructions
+        assert quick_resilience.name == full_resilience.name \
+            == "resilience_overhead/figure6"
+        assert quick_resilience.instructions < full_resilience.instructions
 
     def test_deterministic_digest(self):
         scenario = ServiceScenario(
@@ -48,6 +51,30 @@ class TestServiceScenario:
             benchmarks=("gcc",),
         )
         assert scenario.run()["stats_digest"] == scenario.run()["stats_digest"]
+
+
+class TestResilienceOverheadScenario:
+    def test_both_passes_identical_and_ratio_reported(self):
+        from repro.bench.scenarios import ResilienceOverheadScenario
+
+        scenario = ResilienceOverheadScenario(
+            name="resilience_overhead/figure6",
+            figure="figure6",
+            instructions=200,
+            warmup_instructions=50,
+            benchmarks=("gcc",),
+        )
+        outcome = scenario.run()
+        assert outcome["points"] == 3
+        summary = outcome["summary"]
+        assert summary["disabled_wall_seconds"] > 0
+        assert summary["instrumented_wall_seconds"] > 0
+        assert summary["instrumented_over_disabled"] > 0
+        assert len(outcome["stats_digest"]) == 64
+        # The seams must be left disabled afterwards.
+        from repro.chaos import seams
+
+        assert not seams.installed()
 
 
 class TestVersionEmbedding:

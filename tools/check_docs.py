@@ -43,6 +43,7 @@ CLI_DOC_MAP = [
     ("repro.service", "watch", "docs/service.md"),
     ("repro.service", "metrics", "docs/service.md"),
     ("repro.service", "health", "docs/service.md"),
+    ("repro.chaos", None, "docs/robustness.md"),
 ]
 
 #: Markdown inline links: [text](target).  Reference-style links and
