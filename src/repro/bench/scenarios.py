@@ -593,6 +593,139 @@ class ResilienceOverheadScenario:
         }
 
 
+@dataclass(frozen=True)
+class ObsOverheadScenario:
+    """Telemetry must be nearly free: spans + histograms + the event log.
+
+    Runs the same figure plan through the service on cold cache trees
+    with full telemetry (the production default — metrics registry,
+    span event log, SSE bus) and with a bare registry (no event log,
+    no bus), the cheapest configuration the app supports.  The passes
+    alternate bare/full for ``pairs`` rounds and the best wall per
+    side is compared — the interleaved best-of estimator from
+    ``docs/benchmarking.md``, because a single ~1 s service wall
+    carries enough scheduler and watch-poll noise to swamp a 5%
+    ratio.  The throughput metric is the *full-telemetry* wall — that
+    is what production pays — and the full/bare ratio lands in the
+    summary next to the ``threshold`` it is expected to stay under
+    (1.05×).  Every pass must produce byte-identical results.
+    """
+
+    name: str
+    figure: str
+    instructions: int
+    warmup_instructions: int
+    benchmarks: tuple
+
+    #: Expected upper bound on the full/bare wall ratio.
+    threshold: float = 1.05
+    #: Alternating bare/full rounds; best wall per side is compared.
+    pairs: int = 3
+
+    def _one_pass(self, full_telemetry: bool) -> Dict[str, object]:
+        import shutil
+        import tempfile
+        import threading
+        import time as time_mod
+
+        from repro.errors import SimulationError
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.telemetry import Telemetry
+        from repro.service.app import ServiceApp
+        from repro.service.client import ServiceClient
+        from repro.service.server import build_server
+
+        tmp = tempfile.mkdtemp(prefix="repro-bench-obs-")
+        telemetry = (
+            None if full_telemetry  # the app builds log + bus itself
+            else Telemetry(registry=MetricsRegistry())
+        )
+        app = ServiceApp(cache_dir=tmp, jobs=1, job_concurrency=1,
+                         telemetry=telemetry)
+        server = build_server(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        app.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}"
+            )
+            started = time_mod.perf_counter()
+            job = client.submit({
+                "figure": self.figure,
+                "settings": {
+                    "instructions": self.instructions,
+                    "warmup_instructions": self.warmup_instructions,
+                    "benchmarks": list(self.benchmarks),
+                },
+            })
+            final = client.watch(job["id"], interval=0.05, timeout=1800)
+            wall = time_mod.perf_counter() - started
+            if final.get("state") != "completed":
+                raise SimulationError(
+                    f"obs bench job did not complete: {final.get('error')}"
+                )
+            result = client.result(job["id"])
+            digest = hashlib.sha256(
+                json.dumps(result["result"], sort_keys=True,
+                           separators=(",", ":"), default=str).encode("utf-8")
+            ).hexdigest()
+            return {
+                "points": int(final["counters"]["unique"]),
+                "wall_seconds": wall,
+                "digest": digest,
+            }
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.stop()
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def run(self) -> Dict[str, object]:
+        from repro.errors import SimulationError
+
+        bare_walls, full_walls = [], []
+        full = None
+        digest = None
+        for _ in range(max(1, self.pairs)):
+            bare = self._one_pass(full_telemetry=False)
+            full = self._one_pass(full_telemetry=True)
+            if digest is None:
+                digest = bare["digest"]
+            if bare["digest"] != digest or full["digest"] != digest:
+                raise SimulationError(
+                    "full-telemetry service pass diverged from the bare-"
+                    "registry pass — observability is not transparent"
+                )
+            bare_walls.append(bare["wall_seconds"])
+            full_walls.append(full["wall_seconds"])
+        best_bare, best_full = min(bare_walls), min(full_walls)
+        ratio = best_full / best_bare if best_bare else 0.0
+        return {
+            "points": full["points"],
+            "wall_seconds_override": best_full,
+            "summary": {
+                "bare_wall_seconds": round(best_bare, 3),
+                "full_wall_seconds": round(best_full, 3),
+                "full_over_bare": round(ratio, 3),
+                "pairs": max(1, self.pairs),
+                "threshold": self.threshold,
+                "within_threshold": ratio <= self.threshold,
+            },
+            "stats_digest": digest,
+        }
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "figure": self.figure,
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "benchmarks": list(self.benchmarks),
+            "transport": "http",
+            "passes": ["bare-registry", "full-telemetry"],
+        }
+
+
 def service_scenarios(quick: bool = False) -> List[object]:
     """The service-path scenarios (quick-eligible, so CI gates them too)."""
     return [
@@ -608,6 +741,16 @@ def service_scenarios(quick: bool = False) -> List[object]:
             figure="figure6",
             instructions=1500 if quick else 6000,
             warmup_instructions=300 if quick else 2000,
+            benchmarks=("gcc",),
+        ),
+        # Deliberately NOT shrunk under --quick: on a sub-second job the
+        # client's 50 ms watch-poll quantisation swamps the ratio being
+        # measured; the full-size plan keeps the signal above the noise.
+        ObsOverheadScenario(
+            name="obs_overhead/figure6",
+            figure="figure6",
+            instructions=6000,
+            warmup_instructions=2000,
             benchmarks=("gcc",),
         ),
     ]

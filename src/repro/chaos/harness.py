@@ -208,6 +208,50 @@ def watch_bounded(client: ServiceClient, job_id: str,
         return None
 
 
+def check_event_timeline(cache_dir: str, result: ScenarioResult,
+                         source: Optional[str] = None) -> None:
+    """Assert the telemetry span timeline under ``cache_dir`` is whole.
+
+    After a drained (non-kill) scenario every ``span_start`` must have a
+    matching ``span_end`` — an unfinished span means an operation
+    crashed or leaked past its guard.  Kill scenarios skip this check:
+    a SIGKILL legitimately tears spans mid-flight.
+    """
+    from repro.obs.events import read_events, unfinished_spans
+    from repro.service.app import EVENTS_SUBDIR
+    import os
+
+    events_dir = os.path.join(cache_dir, EVENTS_SUBDIR)
+
+    def load():
+        loaded = read_events(events_dir)
+        if source is not None:
+            loaded = [e for e in loaded if e.get("source") == source]
+        return loaded
+
+    # The client can observe a terminal job a beat before the final
+    # span_end flushes; give the log a bounded moment to settle.
+    events = load()
+    deadline = time.monotonic() + 10.0
+    while (not events or unfinished_spans(events)) \
+            and time.monotonic() < deadline:
+        time.sleep(0.05)
+        events = load()
+    if not events:
+        result.violate(f"no telemetry events under {cache_dir!r} — "
+                       f"the event log never wrote")
+        return
+    dangling = unfinished_spans(events)
+    for start in dangling:
+        result.violate(
+            f"span {start.get('span')!r} (span_id {start.get('span_id')}, "
+            f"job {start.get('job_id')}) started but never ended"
+        )
+    spans = sum(1 for e in events if e.get("kind") == "span_end")
+    result.note(f"timeline: {len(events)} events, {spans} complete spans, "
+                f"{len(dangling)} dangling")
+
+
 def wait_until(predicate, timeout: float, interval: float = 0.05) -> bool:
     """Poll ``predicate`` until true or ``timeout``; returns the verdict."""
     deadline = time.monotonic() + timeout

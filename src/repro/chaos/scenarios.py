@@ -35,6 +35,7 @@ from repro.chaos.faults import Fault, FaultInjector
 from repro.chaos.harness import (
     ScenarioResult,
     canonical_result_bytes,
+    check_event_timeline,
     check_terminal_record,
     scenario_env,
     wait_until,
@@ -111,6 +112,7 @@ def scenario_baseline_identity(result: ScenarioResult, seed: int,
             sut.client.result(record["id"]).get("result")
         )
         check_terminal_record(record, result)
+        check_event_timeline(env.cache_dir("chaos"), result)
 
     if plain_bytes != chaos_bytes:
         result.violate("fault-free instrumented run is not byte-identical "
@@ -285,6 +287,7 @@ def scenario_enospc(result: ScenarioResult, seed: int, quick: bool) -> None:
                                f"served from memory (executed == 0); "
                                f"executed {executed}")
         save_errors = (metrics.get("job_store") or {}).get("save_errors")
+        check_event_timeline(env.cache_dir("full-disk"), result)
         result.note(f"write errors absorbed: "
                     f"storage={results_stats.get('write_errors')}, "
                     f"job-store={save_errors}")
@@ -314,6 +317,7 @@ def scenario_slow_worker(result: ScenarioResult, seed: int,
         if record.get("state") != "completed":
             result.violate(f"slow worker should still complete; got "
                            f"{record.get('state')}: {record.get('error')}")
+        check_event_timeline(env.cache_dir("slow"), result)
         result.note(f"{injector.calls('engine.point')} slowed point starts")
         result.faults_injected = len(injector.log())
 
@@ -347,6 +351,9 @@ def scenario_hung_worker_deadline(result: ScenarioResult, seed: int,
         metrics = sut.client.metrics()
         if not (metrics.get("jobs") or {}).get("deadline_failures"):
             result.violate("metrics.jobs.deadline_failures not incremented")
+        # Even a deadline-killed job leaves a whole span timeline: the
+        # hung worker's execute span ends (with an error) once it wakes.
+        check_event_timeline(env.cache_dir("hung"), result)
         result.note("deadline watchdog fired while the worker hung; "
                     "lease released")
         result.faults_injected = len(injector.log())
@@ -371,6 +378,7 @@ def scenario_crash_worker(result: ScenarioResult, seed: int,
         if record.get("state") != "failed":
             result.violate(f"crashing worker should fail the job; got "
                            f"{record.get('state')}")
+        check_event_timeline(env.cache_dir("crash"), result)
         result.note(f"cause: {(record.get('error') or {}).get('code')}")
         result.faults_injected = len(injector.log())
 
@@ -558,6 +566,7 @@ def scenario_http_flaky(result: ScenarioResult, seed: int,
         if (isinstance(executed, int) and isinstance(unique, int)
                 and executed > unique):
             result.violate(f"fleet executed {executed} > unique {unique}")
+        check_event_timeline(env.cache_dir("flaky"), result)
         result.note(f"client retried {sut.client.retried} time(s) across "
                     f"{len(injector.log())} transport faults")
         result.faults_injected = len(injector.log())
@@ -611,6 +620,7 @@ def scenario_overload(result: ScenarioResult, seed: int,
         rejected = (metrics.get("queue") or {}).get("rejected_overloaded")
         if not rejected:
             result.violate("metrics.queue.rejected_overloaded not counted")
+        check_event_timeline(env.cache_dir("busy"), result)
         result.note(f"server rejected {rejected} submit(s); patient client "
                     f"retried {patient.retried} time(s) and got through")
         result.faults_injected = len(injector.log())

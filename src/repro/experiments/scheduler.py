@@ -34,7 +34,9 @@ and live runs of the same point share one result-store entry.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import math
+import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -44,6 +46,11 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.chaos import seams as _seams
 from repro.experiments.store import DEFAULT_CLAIM_TTL, ResultStore, simulation_key
+from repro.obs import context as _obs_context
+from repro.obs import profile as _obs_profile
+from repro.obs.context import TraceContext
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry
 from repro.pipeline.config import ProcessorConfig
 from repro.pipeline.processor import simulate
 from repro.pipeline.stats import SimulationStats
@@ -212,6 +219,7 @@ def run_simulation_point(
 
 def _execute_remote(point: SimulationPoint) -> dict:
     """Worker wrapper: ship the stats back as a plain dictionary."""
+    _obs_profile.maybe_enable_worker()
     return run_simulation_point(point).to_dict()
 
 
@@ -353,6 +361,10 @@ class _RecordTask:
 
     point: SimulationPoint
     cache_dir: Optional[str]
+    #: Observability payload (``{"events_dir", "trace"}``) letting the
+    #: worker process emit its spans into the service's event log under
+    #: the submitting job's trace; ``None`` keeps workers silent.
+    obs: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -365,10 +377,44 @@ class _TraceBatch:
     #: trace from a shared ``cache_dir``.
     payload: Optional[dict]
     cache_dir: Optional[str]
+    obs: Optional[dict] = None
 
 
 #: Per-worker-process cache of decoded traces (warm across batches).
 _WORKER_TRACES: Dict[str, DecodedTrace] = {}
+
+#: Per-worker-process event-log telemetry, keyed by events dir.
+_WORKER_OBS: Dict[str, Telemetry] = {}
+
+
+def _worker_telemetry(
+    obs_payload: Optional[dict],
+) -> Tuple[Optional[Telemetry], Optional[TraceContext]]:
+    """This worker process's telemetry for a task's events dir (lazily
+    created, cached for the process lifetime) plus the task's parent
+    trace context.  ``(None, None)`` when the task carries no obs."""
+    if not isinstance(obs_payload, dict):
+        return None, None
+    events_dir = obs_payload.get("events_dir")
+    if not isinstance(events_dir, str) or not events_dir:
+        return None, None
+    telemetry = _WORKER_OBS.get(events_dir)
+    if telemetry is None:
+        from repro.obs.events import EventLog
+
+        telemetry = Telemetry(
+            log=EventLog(events_dir, f"worker-{os.getpid()}")
+        )
+        _WORKER_OBS[events_dir] = telemetry
+    return telemetry, TraceContext.from_dict(obs_payload.get("trace"))
+
+
+def _maybe_span(telemetry: Optional[Telemetry], name: str,
+                parent: Optional[TraceContext] = None, **attrs):
+    """A telemetry span, or a no-op context when telemetry is absent."""
+    if telemetry is None:
+        return contextlib.nullcontext()
+    return telemetry.span(name, parent=parent, **attrs)
 
 
 def _worker_trace(key: str, payload: Optional[dict],
@@ -396,15 +442,21 @@ def _record_remote(task: _RecordTask) -> Tuple[Optional[dict], dict]:
     payload is ``None`` when the trace was persisted to the shared
     ``cache_dir`` instead of being shipped back.
     """
+    _obs_profile.maybe_enable_worker()
+    telemetry, parent = _worker_telemetry(task.obs)
     point = task.point
-    trace, recorded_stats = record_point_trace(point)
+    with _maybe_span(telemetry, "trace.record", parent=parent,
+                     benchmark=point.benchmark):
+        trace, recorded_stats = record_point_trace(point)
     while len(_WORKER_TRACES) >= _WORKER_TRACE_CACHE_LIMIT:
         _WORKER_TRACES.pop(next(iter(_WORKER_TRACES)))
     _WORKER_TRACES[trace.key] = trace
     if recorded_stats is not None:
         stats = recorded_stats.to_dict()
     else:
-        stats = run_simulation_point(point, trace).to_dict()
+        with _maybe_span(telemetry, "point.simulate", parent=parent,
+                         strategy="replay", benchmark=point.benchmark):
+            stats = run_simulation_point(point, trace).to_dict()
     if task.cache_dir:
         TraceStore(task.cache_dir).put(trace)
         return None, stats
@@ -413,10 +465,17 @@ def _record_remote(task: _RecordTask) -> Tuple[Optional[dict], dict]:
 
 def _batch_remote(batch: _TraceBatch) -> List[dict]:
     """Worker entry for a :class:`_TraceBatch`."""
+    _obs_profile.maybe_enable_worker()
+    telemetry, parent = _worker_telemetry(batch.obs)
     trace = _worker_trace(
         batch.trace_key, batch.payload, batch.cache_dir, batch.points[0]
     )
-    return [run_simulation_point(point, trace).to_dict() for point in batch.points]
+    results = []
+    for point in batch.points:
+        with _maybe_span(telemetry, "point.simulate", parent=parent,
+                         strategy="replay", benchmark=point.benchmark):
+            results.append(run_simulation_point(point, trace).to_dict())
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -450,6 +509,13 @@ class SweepEngine:
     (``remote_reclaimed``).
     """
 
+    #: Engine counter families; order fixes the layout of :meth:`totals`.
+    _COUNTER_NAMES = (
+        "calls", "requested", "unique", "cached", "executed",
+        "shared_inflight", "remote_inflight", "remote_reclaimed",
+        "traces_recorded", "traces_reused",
+    )
+
     def __init__(
         self,
         store: Optional[ResultStore] = None,
@@ -458,6 +524,7 @@ class SweepEngine:
         trace_store: Optional[TraceStore] = None,
         claim_ttl: float = DEFAULT_CLAIM_TTL,
         claim_poll_interval: float = 0.05,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.jobs = jobs
@@ -470,28 +537,46 @@ class SweepEngine:
         self.claim_poll_interval = claim_poll_interval
         self._lock = threading.Lock()
         self._inflight: Dict[str, threading.Event] = {}
-        self._totals = {
-            "calls": 0,
-            "requested": 0,
-            "unique": 0,
-            "cached": 0,
-            "executed": 0,
-            "shared_inflight": 0,
-            "remote_inflight": 0,
-            "remote_reclaimed": 0,
-            "traces_recorded": 0,
-            "traces_reused": 0,
-            "busy_seconds": 0.0,
+        #: Telemetry (spans + event log) is optional; the *registry* is
+        #: not — the cumulative engine counters live in it either way,
+        #: so ``totals()`` has one source of truth with or without a
+        #: service above.
+        self.telemetry = telemetry
+        self.registry = (
+            telemetry.registry if telemetry is not None else MetricsRegistry()
+        )
+        self._counters = {
+            name: self.registry.counter(f"engine.{name}")
+            for name in self._COUNTER_NAMES
         }
+        self._busy_seconds = self.registry.counter("engine.busy_seconds")
+        self._point_histogram = self.registry.histogram(
+            "point.simulate_seconds",
+            help="Wall time of one in-engine simulated point",
+        )
 
     # ------------------------------------------------------------------
 
     def totals(self) -> dict:
         """Cumulative counters across every :meth:`execute` call."""
-        with self._lock:
-            totals = dict(self._totals)
+        totals: Dict[str, Any] = {
+            name: counter.int_value
+            for name, counter in self._counters.items()
+        }
+        totals["busy_seconds"] = round(self._busy_seconds.value, 3)
         totals["pool_resets"] = pool_resets()
         return totals
+
+    def _worker_obs(self) -> Optional[dict]:
+        """The obs payload shipped with worker tasks (events dir + the
+        active trace), or ``None`` when spans aren't being collected."""
+        if self.telemetry is None or self.telemetry.log is None:
+            return None
+        context = _obs_context.current()
+        return {
+            "events_dir": self.telemetry.log.events_dir,
+            "trace": context.to_dict() if context is not None else None,
+        }
 
     def close(self) -> None:
         """Release the shared warm worker pool (idempotent)."""
@@ -672,16 +757,13 @@ class SweepEngine:
                 event = still_shared[key]
 
         counters["elapsed_seconds"] = round(time.time() - started, 1)
-        with self._lock:
-            self._totals["calls"] += 1
-            self._totals["busy_seconds"] = round(
-                self._totals["busy_seconds"] + (time.time() - started), 3
-            )
-            for field_name in ("requested", "unique", "cached", "executed",
-                               "shared_inflight", "remote_inflight",
-                               "remote_reclaimed", "traces_recorded",
-                               "traces_reused"):
-                self._totals[field_name] += counters[field_name]
+        self._counters["calls"].inc()
+        self._busy_seconds.inc(time.time() - started)
+        for field_name in ("requested", "unique", "cached", "executed",
+                           "shared_inflight", "remote_inflight",
+                           "remote_reclaimed", "traces_recorded",
+                           "traces_reused"):
+            self._counters[field_name].inc(counters[field_name])
         return counters
 
     # ------------------------------------------------------------------
@@ -749,9 +831,16 @@ class SweepEngine:
                 )
                 record(key, point, stats)
 
+            def live_worker(point: SimulationPoint) -> SimulationStats:
+                with self._point_histogram.time(), _maybe_span(
+                    self.telemetry, "point.simulate", strategy="live",
+                    benchmark=point.benchmark,
+                ):
+                    return run_simulation_point(point)
+
             fan_out(
                 [point for _, point in pending_items],
-                worker=run_simulation_point,
+                worker=live_worker,
                 jobs=jobs,
                 remote_worker=_execute_remote,
                 on_result=on_result,
@@ -769,17 +858,42 @@ class SweepEngine:
             for group_key, members in groups.items():
                 trace = traces.get(group_key)
                 recorded_stats = None
+                record_seconds = 0.0
                 if trace is None:
-                    trace, recorded_stats = record_point_trace(members[0][1])
+                    record_started = time.perf_counter()
+                    with _maybe_span(self.telemetry, "trace.record",
+                                     benchmark=members[0][1].benchmark,
+                                     histogram="trace.record_seconds"):
+                        trace, recorded_stats = record_point_trace(members[0][1])
+                    record_seconds = time.perf_counter() - record_started
                     traces.put(trace)
                     counters["traces_recorded"] += 1
                 else:
                     counters["traces_reused"] += 1
                 for index, (key, point) in enumerate(members):
                     if index == 0 and recorded_stats is not None:
+                        # The recording pass simulated this point; bill
+                        # its wall time to the point latency too so
+                        # single-point jobs aren't invisible in p50/p99.
+                        self._point_histogram.observe(record_seconds)
+                        if self.telemetry is not None:
+                            span = self.telemetry.span_start(
+                                "point.simulate", strategy="harvest",
+                                benchmark=point.benchmark,
+                            )
+                            self.telemetry.span_end(
+                                "point.simulate", span,
+                                duration_s=record_seconds,
+                                strategy="harvest", benchmark=point.benchmark,
+                            )
                         record(key, point, recorded_stats)
-                    else:
-                        record(key, point, run_simulation_point(point, trace))
+                        continue
+                    with self._point_histogram.time(), _maybe_span(
+                        self.telemetry, "point.simulate", strategy="replay",
+                        benchmark=point.benchmark,
+                    ):
+                        stats = run_simulation_point(point, trace)
+                    record(key, point, stats)
             return
 
         # Parallel: phase R records one trace per missing group (each worker
@@ -787,6 +901,7 @@ class SweepEngine:
         # phase B batches the remaining points so each worker receives a
         # group's trace once per dispatch rather than once per point.
         on_disk = bool(traces.trace_dir)
+        worker_obs = self._worker_obs()
         payloads: Dict[str, Optional[dict]] = {}
         record_groups: List[Tuple[str, List[Tuple[str, SimulationPoint]]]] = []
         batch_members: List[Tuple[str, SimulationPoint, str]] = []
@@ -818,7 +933,8 @@ class SweepEngine:
             fan_out(
                 [
                     _RecordTask(point=members[0][1],
-                                cache_dir=traces.cache_dir if on_disk else None)
+                                cache_dir=traces.cache_dir if on_disk else None,
+                                obs=worker_obs)
                     for _, members in record_groups
                 ],
                 worker=_record_remote,
@@ -845,6 +961,7 @@ class SweepEngine:
                                 trace_key=group_key,
                                 payload=payloads.get(group_key),
                                 cache_dir=traces.cache_dir if on_disk else None,
+                                obs=worker_obs,
                             ),
                             part,
                         )

@@ -255,6 +255,12 @@ class ResultStore:
 
     # ------------------------------------------------------------------
 
+    def set_observer(self, observer) -> None:
+        """Install a ``(op, seconds)`` duration sink on the disk tier
+        (see :attr:`ShardedStore.observer`); no-op when memory-only."""
+        if self._disk is not None:
+            self._disk.observer = observer
+
     def compact(self) -> None:
         """Force-compact the disk tier (drops dead/expired records)."""
         if self._disk is not None:

@@ -1,0 +1,52 @@
+"""``python -m repro.obs`` — observability CLI.
+
+Currently one subcommand::
+
+    python -m repro.obs report <events-dir>
+
+renders the per-job latency breakdown and point-latency percentiles
+from a recorded event log (see :mod:`repro.obs.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.obs.report import render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect the sweep service's telemetry output.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="render a per-job latency breakdown from an event log",
+        description=(
+            "Reconstruct span trees from <events-dir> (the events/ "
+            "directory under a service cache tree) and print a per-job "
+            "latency breakdown plus p50/p95/p99 point latency."
+        ),
+    )
+    report.add_argument(
+        "events_dir",
+        help="path to the events/ directory (e.g. <cache-dir>/events)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        sys.stdout.write(render_report(args.events_dir))
+        return 0
+    return 2  # unreachable: argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Structured logging for the service (``serve --log-level/--log-json``).
+
+The service historically printed bare lines to stderr.  This module
+routes them through stdlib :mod:`logging` instead: :func:`setup`
+configures the ``repro`` logger hierarchy once per process with either
+the classic human one-liner or a JSON formatter.  Both formatters stamp
+the active trace context (:func:`repro.obs.context.current`) onto each
+record, so a job's log lines can be joined to its spans by ``trace_id``
+without threading ids through every call site.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Optional
+
+from repro.obs import context as _context
+
+#: Root of the service's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, trace ids."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        active = _context.current()
+        if active is not None:
+            payload["trace_id"] = active.trace_id
+            payload["span_id"] = active.span_id
+        extra_trace = getattr(record, "trace_id", None)
+        if extra_trace is not None:
+            payload["trace_id"] = extra_trace
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["error"] = record.exc_info[0].__name__
+        return json.dumps(payload, separators=(",", ":"), default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """The classic stderr one-liner, with ``[trace]`` when one is bound."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        active = _context.current()
+        trace_id = getattr(record, "trace_id", None) or (
+            active.trace_id if active is not None else None
+        )
+        if trace_id is not None:
+            return f"{message} [trace {trace_id[:8]}]"
+        return message
+
+
+def setup(
+    level: str = "info",
+    json_lines: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger and return it.
+
+    Replaces any handlers from a previous call (tests call this
+    repeatedly), never touches the root logger, and leaves propagation
+    off so embedding applications keep their own logging untouched.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(numeric)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_lines else TextFormatter())
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A child of the ``repro`` logger (``get_logger("service")``)."""
+    if name:
+        return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+    return logging.getLogger(ROOT_LOGGER)

@@ -1,0 +1,77 @@
+"""Opt-in cProfile hooks for the service and its worker pool.
+
+``serve --profile-dir <dir>`` sets :data:`PROFILE_ENV` in the serving
+process; worker processes inherit it through the
+:class:`~concurrent.futures.ProcessPoolExecutor` fork/spawn, so the
+engine's worker entry points only need to call
+:func:`maybe_enable_worker` once.  Each profiled process registers an
+:mod:`atexit` dump of ``<dir>/<prefix>-<pid>.pstats`` — the pool's
+``shutdown(wait=True)`` on drain ends the workers cleanly, which is
+what flushes their profiles.
+
+Everything is inert unless the env var is set: the fast path is one
+``os.environ.get`` per process lifetime.
+"""
+
+from __future__ import annotations
+
+import atexit
+import cProfile
+import os
+from typing import Optional
+
+#: Directory to dump ``.pstats`` files into; unset means disabled.
+PROFILE_ENV = "REPRO_PROFILE_DIR"
+
+_profiler: Optional[cProfile.Profile] = None
+_dump_path: Optional[str] = None
+
+
+def enabled_dir() -> Optional[str]:
+    """The configured profile directory, or ``None`` when disabled."""
+    value = os.environ.get(PROFILE_ENV, "").strip()
+    return value or None
+
+
+def _dump() -> None:
+    global _profiler
+    if _profiler is None:
+        return
+    profiler, _profiler = _profiler, None
+    try:
+        profiler.disable()
+        if _dump_path is not None:
+            os.makedirs(os.path.dirname(_dump_path), exist_ok=True)
+            profiler.dump_stats(_dump_path)
+    except OSError:
+        pass  # a failed profile dump must never fail the drain
+
+
+def enable(prefix: str, directory: Optional[str] = None) -> bool:
+    """Start profiling this process; returns whether profiling is on.
+
+    Idempotent — a second call in an already-profiled process is a
+    no-op (workers reused across batches hit this constantly).
+    """
+    global _profiler, _dump_path
+    if _profiler is not None:
+        return True
+    directory = directory if directory is not None else enabled_dir()
+    if directory is None:
+        return False
+    _dump_path = os.path.join(directory, f"{prefix}-{os.getpid()}.pstats")
+    _profiler = cProfile.Profile()
+    _profiler.enable()
+    atexit.register(_dump)
+    return True
+
+
+def maybe_enable_worker() -> bool:
+    """Worker-process entry hook: profile iff the env var is set."""
+    return enable("worker")
+
+
+def flush() -> None:
+    """Dump and stop now (the serving process calls this on drain,
+    since it outlives the request that asked for the profile)."""
+    _dump()

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
 from typing import Optional, Sequence
 
+from repro.obs import logging as obs_logging
+from repro.obs import profile as obs_profile
 from repro.service.app import ServiceApp
 from repro.service.client import DEFAULT_URL, ServiceClient, ServiceError
 from repro.service.jobs import COMPLETED
@@ -91,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "race-free ephemeral ports in scripts and CI")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress progress lines on stderr")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warning", "error"),
+                       help="stderr log verbosity (default: info)")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit log lines as JSON objects (one per line) "
+                            "carrying the active trace_id")
+    serve.add_argument("--profile-dir", default=None,
+                       help="enable cProfile in the server and every "
+                            "simulation worker; .pstats files land here on "
+                            "drain (default: off)")
 
     def client_parser(name: str, help_text: str) -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=help_text)
@@ -217,8 +230,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    # Progress lines flow through the stdlib logger so --log-level
+    # filters them and --log-json turns them into machine-readable
+    # records stamped with the active trace_id.
+    obs_logging.setup(level=args.log_level, json_lines=args.log_json)
+    logger = obs_logging.get_logger("service")
+
     def progress(message: str) -> None:
-        print(message, file=sys.stderr, flush=True)
+        logger.info(message)
+
+    if args.profile_dir is not None:
+        # The env var is inherited by the simulation worker processes
+        # (each dumps <dir>/worker-<pid>.pstats at exit); the server
+        # process profiles itself under the "serve" prefix.
+        os.environ[obs_profile.PROFILE_ENV] = os.path.abspath(args.profile_dir)
+        obs_profile.enable("serve")
 
     if args.replicas < 1:
         print("error: --replicas must be at least 1", file=sys.stderr)
@@ -308,6 +334,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         server.server_close()
     for app, _ in pairs:
         app.stop(drain=True)
+    if args.profile_dir is not None:
+        obs_profile.flush()  # dump the server's own .pstats before exit
     print("shutdown: complete", file=sys.stderr, flush=True)
     return 0
 
@@ -329,8 +357,27 @@ def _print_job_line(job: dict) -> None:
 def _watch(client: ServiceClient, job_id: str, interval: float = 0.5,
            timeout: Optional[float] = None,
            max_interval: Optional[float] = None) -> int:
+    last_phase = [None]
+
+    def on_phase(event: dict) -> None:
+        phase = event.get("phase")
+        if phase == last_phase[0]:
+            return
+        last_phase[0] = phase
+        print(f"job {job_id}: phase {phase}", file=sys.stderr, flush=True)
+
     job = client.watch(job_id, interval=interval, timeout=timeout,
-                       max_interval=max_interval, on_update=_print_job_line)
+                       max_interval=max_interval, on_update=_print_job_line,
+                       on_phase=on_phase)
+    # Final span breakdown (queue wait / lease hold / execute) from the
+    # event stream; older servers without /events just skip it.
+    breakdown = client.job_span_breakdown(job_id)
+    if breakdown:
+        parts = ", ".join(
+            f"{name} {seconds:.3f}s"
+            for name, seconds in sorted(breakdown.items())
+        )
+        print(f"job {job_id}: spans {parts}", file=sys.stderr, flush=True)
     if job.get("state") == COMPLETED:
         return 0
     error = job.get("error") or {}

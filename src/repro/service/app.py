@@ -30,17 +30,23 @@ replica is not running, and steals expired leases.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from datetime import datetime, timezone
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.chaos import seams as _seams
 from repro.errors import ReproError
 from repro.experiments.common import SimulationCache
 from repro.experiments.scheduler import SweepEngine, dedupe_points
 from repro.experiments.store import ResultStore
+from repro.obs import prometheus as _prometheus
+from repro.obs.context import TraceContext
+from repro.obs.events import EventBus, EventLog
+from repro.obs.metrics import MetricsRegistry, RateWindow
+from repro.obs.telemetry import Telemetry
 from repro.service import spec as spec_mod
 from repro.service.fleet import (
     DEFAULT_LEASE_TTL,
@@ -72,6 +78,17 @@ ProgressCallback = Callable[[str], None]
 #: How often the deadline watchdog re-checks running/queued jobs.
 WATCHDOG_INTERVAL = 0.2
 
+#: Point-counter families served under ``points`` in /metrics.  The
+#: names and their order are part of the JSON contract (regression
+#: tested against the historical payload shape).
+_POINT_FIELDS = (
+    "requested", "unique", "completed", "executed", "from_cache",
+    "shared_inflight", "remote_inflight", "remote_reclaimed",
+)
+
+#: Subdirectory of the cache dir holding the telemetry event log.
+EVENTS_SUBDIR = "events"
+
 
 class _DeadlineExceeded(Exception):
     """Internal: raised out of ``on_point`` when a job's budget is gone."""
@@ -99,6 +116,7 @@ class ServiceApp:
         claim_ttl: Optional[float] = None,
         max_queue_depth: Optional[int] = None,
         poison_attempts: int = DEFAULT_POISON_ATTEMPTS,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -113,8 +131,22 @@ class ServiceApp:
         self.replica_id = replica_id or default_replica_id()
         self.lease_ttl = lease_ttl
         self.fleet_poll_interval = fleet_poll_interval
+        if telemetry is None:
+            log = bus = None
+            if cache_dir:
+                log = EventLog(
+                    os.path.join(cache_dir, EVENTS_SUBDIR),
+                    source=f"service-{self.replica_id}",
+                )
+                bus = EventBus()
+            telemetry = Telemetry(registry=MetricsRegistry(), log=log, bus=bus)
+        #: The replica's observability bundle: metrics registry, on-disk
+        #: event log (cache-dir backed) and the SSE ring buffer.
+        self.telemetry = telemetry
         self.store = ResultStore(cache_dir=cache_dir, owner=self.replica_id)
         self.trace_store = TraceStore(cache_dir)
+        self.store.set_observer(self._storage_observer("results"))
+        self.trace_store.set_observer(self._storage_observer("traces"))
         engine_kwargs = {}
         if claim_ttl is not None:
             engine_kwargs["claim_ttl"] = claim_ttl
@@ -123,6 +155,7 @@ class ServiceApp:
             jobs=jobs,
             use_trace_replay=use_trace_replay,
             trace_store=self.trace_store,
+            telemetry=self.telemetry,
             **engine_kwargs,
         )
         self.job_store = JobStore(cache_dir)
@@ -136,37 +169,139 @@ class ServiceApp:
         # points/min rate derived from uptime.  Injectable for tests.
         self._monotonic = time.monotonic
         self._started_clock = self._monotonic()
+        # The lambda re-reads ``self._monotonic`` on every tick, so tests
+        # that inject a fake clock after construction stay in control of
+        # the sliding window too.
+        self._rate_window = RateWindow(clock=lambda: self._monotonic())
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
         #: Validated plans of jobs admitted by *this* process; resumed
         #: jobs re-validate from their persisted spec instead.
         self._plans: Dict[str, spec_mod.JobPlan] = {}
-        self._points_lock = threading.Lock()
-        self._point_totals = {
-            "requested": 0,
-            "unique": 0,
-            "completed": 0,
-            "executed": 0,
-            "from_cache": 0,
-            "shared_inflight": 0,
-            "remote_inflight": 0,
-            "remote_reclaimed": 0,
+        registry = self.telemetry.registry
+        self._point_counters = {
+            name: registry.counter(
+                f"points.{name}", help=f"points {name} service-wide"
+            )
+            for name in _POINT_FIELDS
         }
         #: Backpressure: submissions beyond this queue depth are rejected
         #: with a structured 503 ``overloaded`` (``None`` = unbounded).
         self.max_queue_depth = max_queue_depth
         #: Execution attempts before a job is quarantined as poisonous.
         self.poison_attempts = poison_attempts
-        self.resumed_jobs = 0
-        self.adopted_jobs = 0
-        self.stolen_jobs = 0
-        self.poisoned_jobs = 0
-        self.deadline_failures = 0
-        self.rejected_overloaded = 0
+        # Fleet/robustness counters live in the registry; the public
+        # ``app.stolen_jobs``-style names survive as read-only properties.
+        self._resumed_jobs = registry.counter("jobs.resumed")
+        self._adopted_jobs = registry.counter("jobs.adopted")
+        self._stolen_jobs = registry.counter("jobs.stolen")
+        self._poisoned_jobs = registry.counter("jobs.poisoned")
+        self._deadline_failures = registry.counter("jobs.deadline_failures")
+        self._rejected_overloaded = registry.counter("queue.rejected_overloaded")
+        #: Pending queue-wait spans by job id: ``(span, perf_counter)``
+        #: opened at admission, closed by the executor that picks the job
+        #: up; plus the set of jobs whose root span already ended (the
+        #: watchdog and the executor can both reach a terminal job).
+        self._span_lock = threading.Lock()
+        self._queue_waits: Dict[str, Tuple[TraceContext, float]] = {}
+        self._ended_jobs: Set[str] = set()
         #: Job ids this replica is executing right now; the fleet poller
         #: never refreshes or steals a job its own executor owns.
         self._running_ids: set = set()
         self._running_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # registry-backed counter views (historical attribute names)
+    # ------------------------------------------------------------------
+
+    @property
+    def resumed_jobs(self) -> int:
+        return self._resumed_jobs.int_value
+
+    @property
+    def adopted_jobs(self) -> int:
+        return self._adopted_jobs.int_value
+
+    @property
+    def stolen_jobs(self) -> int:
+        return self._stolen_jobs.int_value
+
+    @property
+    def poisoned_jobs(self) -> int:
+        return self._poisoned_jobs.int_value
+
+    @property
+    def deadline_failures(self) -> int:
+        return self._deadline_failures.int_value
+
+    @property
+    def rejected_overloaded(self) -> int:
+        return self._rejected_overloaded.int_value
+
+    # ------------------------------------------------------------------
+    # telemetry plumbing
+    # ------------------------------------------------------------------
+
+    def _storage_observer(self, tier: str):
+        """An ``(op, seconds)`` sink for one store's disk tier: observes
+        the latency histogram and emits a matched storage span pair."""
+
+        def observer(op: str, seconds: float) -> None:
+            name = f"storage.{op}"
+            self.telemetry.registry.histogram(
+                f"{name}_seconds", help=f"sharded-store {op} latency"
+            ).observe(seconds)
+            span = self.telemetry.span_start(name, tier=tier)
+            self.telemetry.span_end(name, span, duration_s=seconds, tier=tier)
+
+        return observer
+
+    def _job_trace(self, job: Job) -> Optional[TraceContext]:
+        """The job's root span context (from its persisted record)."""
+        return TraceContext.from_dict(job.trace)
+
+    def _end_queue_wait(self, job: Job) -> None:
+        with self._span_lock:
+            entry = self._queue_waits.pop(job.id, None)
+        if entry is not None:
+            span, started = entry
+            self.telemetry.span_end(
+                "queue.wait", span, started=started, job_id=job.id
+            )
+
+    def _finish_job_telemetry(self, job: Job) -> None:
+        """Terminal phase + root-span end for a job, exactly once.
+
+        Both the executor and the deadline watchdog can drive a job
+        terminal; whichever arrives second only cleans up the pending
+        queue-wait span (if the job never reached an executor)."""
+        if not job.terminal:
+            return
+        with self._span_lock:
+            already_ended = job.id in self._ended_jobs
+            self._ended_jobs.add(job.id)
+        self._end_queue_wait(job)
+        if already_ended:
+            return
+        trace = self._job_trace(job)
+        self.telemetry.phase(job.id, job.state, trace=trace,
+                             replica=self.replica_id)
+        if trace is None:
+            return  # pre-telemetry job record: no root span to close
+        duration = None
+        try:
+            submitted = datetime.fromisoformat(job.submitted_at)
+            if submitted.tzinfo is None:
+                submitted = submitted.replace(tzinfo=timezone.utc)
+            duration = max(
+                0.0,
+                (datetime.now(timezone.utc) - submitted).total_seconds(),
+            )
+        except (TypeError, ValueError):
+            pass
+        self.telemetry.span_end(
+            "job", trace, duration_s=duration, job_id=job.id, state=job.state
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -201,7 +336,10 @@ class ServiceApp:
                 self.job_store.save(job)
             self.queue.add(job, enqueue=resume)
             if resume:
-                self.resumed_jobs += 1
+                self._resumed_jobs.inc()
+                self.telemetry.phase(job.id, "resumed",
+                                     trace=self._job_trace(job),
+                                     replica=self.replica_id)
                 self._say(f"resume: job {job.id} re-queued ({job.state})")
         if self.job_store.quarantined:
             self._say(
@@ -246,16 +384,25 @@ class ServiceApp:
         # work after it drains (stale snapshots stay in the totals).
         self.replicas.publish(self._snapshot())
         self.engine.close()
+        # Flush the event log last so engine-drain spans land in it; the
+        # log reopens transparently if this app is started again.
+        self.telemetry.close()
 
     # ------------------------------------------------------------------
     # admission and queries
     # ------------------------------------------------------------------
 
-    def submit(self, payload) -> Job:
-        """Validate a submission and enqueue a job (raises ApiError)."""
+    def submit(self, payload, trace: Optional[TraceContext] = None) -> Job:
+        """Validate a submission and enqueue a job (raises ApiError).
+
+        ``trace`` is the client's context (parsed from ``X-Repro-Trace``
+        by the HTTP layer, if sent); the job's root span is minted as its
+        child, so a client-side trace id follows the job all the way to
+        its last stored point.  Without one, a fresh trace is minted here.
+        """
         if (self.max_queue_depth is not None
                 and self.queue.depth() >= self.max_queue_depth):
-            self.rejected_overloaded += 1
+            self._rejected_overloaded.inc()
             raise ApiError(
                 503, "overloaded",
                 f"job queue is full ({self.queue.depth()} waiting, "
@@ -279,8 +426,18 @@ class ServiceApp:
             unique = len(dedupe_points(points))
         job.points["requested"] = requested
         job.points["unique"] = unique
-        with self._points_lock:
-            self._point_totals["requested"] += requested
+        self._point_counters["requested"].inc(requested)
+        job_span = self.telemetry.span_start(
+            "job", parent=trace, job_id=job.id, job_kind=plan.kind
+        )
+        job.trace = job_span.to_dict()
+        self.telemetry.phase(job.id, "queued", trace=job_span,
+                             unique_points=unique, priority=job.priority)
+        queue_span = self.telemetry.span_start(
+            "queue.wait", parent=job_span, job_id=job.id
+        )
+        with self._span_lock:
+            self._queue_waits[job.id] = (queue_span, time.perf_counter())
         self._plans[job.id] = plan
         self.job_store.save(job)
         self.queue.add(job)
@@ -329,7 +486,9 @@ class ServiceApp:
                 continue
             if job.terminal:  # defensively skip stale queue entries
                 continue
-            if not self.leases.acquire(job.id):
+            if not self.leases.acquire(
+                job.id, trace_id=(job.trace or {}).get("trace_id")
+            ):
                 # Another replica is running this job; our poller will
                 # refresh its record (and steal it if that replica dies).
                 continue
@@ -340,7 +499,16 @@ class ServiceApp:
                 if latest is not None:
                     job.update_from(latest)
                 if job.terminal:
+                    self._finish_job_telemetry(job)
                     continue
+                self._end_queue_wait(job)
+                trace = self._job_trace(job)
+                self.telemetry.phase(job.id, "leased", trace=trace,
+                                     replica=self.replica_id)
+                lease_span = self.telemetry.span_start(
+                    "lease.hold", parent=trace, job_id=job.id
+                )
+                lease_started = time.perf_counter()
                 with self._running_lock:
                     self._running_ids.add(job.id)
                 try:
@@ -348,6 +516,10 @@ class ServiceApp:
                 finally:
                     with self._running_lock:
                         self._running_ids.discard(job.id)
+                    self.telemetry.span_end(
+                        "lease.hold", lease_span, started=lease_started,
+                        job_id=job.id,
+                    )
             finally:
                 self.leases.release(job.id)
 
@@ -395,9 +567,10 @@ class ServiceApp:
                 ):
                     job.record_fault("deadline_exceeded",
                                      replica=self.replica_id)
-                    self.deadline_failures += 1
+                    self._deadline_failures.inc()
                     self.job_store.save(job)
                     self.leases.release(job.id)
+                    self._finish_job_telemetry(job)
                     self._say(f"job {job.id}: failed [deadline_exceeded]")
 
     def _poison_check(self, job: Job) -> bool:
@@ -417,9 +590,10 @@ class ServiceApp:
             f"job kept dying mid-run; quarantined after {job.attempts} "
             f"attempts (see fault_history)",
         ):
-            self.poisoned_jobs += 1
+            self._poisoned_jobs.inc()
             self.job_store.quarantine_job(job)
             self.leases.release(job.id)
+            self._finish_job_telemetry(job)
             self._say(
                 f"fleet: quarantined poison job {job.id} after "
                 f"{job.attempts} attempts"
@@ -456,7 +630,7 @@ class ServiceApp:
                 # Submitted to another replica: adopt it.  Queued jobs
                 # enter our queue too — the lease decides who runs them.
                 self.queue.add(disk_job, enqueue=disk_job.state == QUEUED)
-                self.adopted_jobs += 1
+                self._adopted_jobs.inc()
                 if disk_job.state == QUEUED:
                     self._say(f"fleet: adopted queued job {disk_job.id}")
                 known = disk_job
@@ -474,7 +648,9 @@ class ServiceApp:
         and re-run from the top; points the dead replica completed are
         cache hits, so only the genuinely lost work is paid again.
         """
-        if not self.leases.acquire(job.id):
+        if not self.leases.acquire(
+            job.id, trace_id=(job.trace or {}).get("trace_id")
+        ):
             return  # someone else (or a revived owner) beat us to it
         try:
             latest = self.job_store.load(job.id)
@@ -490,7 +666,9 @@ class ServiceApp:
             job.started_at = None
             self.job_store.save(job)
             self.queue.add(job, enqueue=True)
-            self.stolen_jobs += 1
+            self._stolen_jobs.inc()
+            self.telemetry.phase(job.id, "stolen", trace=self._job_trace(job),
+                                 replica=self.replica_id)
             self._say(f"fleet: stole job {job.id} (owner lease expired)")
         finally:
             self.leases.release(job.id)
@@ -505,11 +683,14 @@ class ServiceApp:
                 f"deadline before starting",
             ):
                 job.record_fault("deadline_exceeded", replica=self.replica_id)
-                self.deadline_failures += 1
+                self._deadline_failures.inc()
                 self.job_store.save(job)
+                self._finish_job_telemetry(job)
             return
         job.mark_running()
         self.job_store.save(job)
+        self.telemetry.phase(job.id, "running", trace=self._job_trace(job),
+                             replica=self.replica_id)
         self._say(f"job {job.id}: running")
         try:
             plan = self._plans.pop(job.id, None)
@@ -527,6 +708,7 @@ class ServiceApp:
                 if left is not None and left <= 0:
                     raise _DeadlineExceeded()
                 job.points["completed"] += 1
+                self._rate_window.record(1)
                 # Persist progress (throttled) so other replicas' watch
                 # requests see this job advance, not just start/finish.
                 now = time.monotonic()
@@ -534,51 +716,56 @@ class ServiceApp:
                     last_save[0] = now
                     self.job_store.save(job)
 
-            if plan.kind == "search":
-                from repro.search.driver import run_search
+            with self.telemetry.span(
+                "execute", parent=self._job_trace(job), job_id=job.id,
+                job_kind=plan.kind, histogram="job.execute_seconds",
+            ):
+                if plan.kind == "search":
+                    from repro.search.driver import run_search
 
-                job.points["requested"] = 0
-                job.points["unique"] = 0
+                    job.points["requested"] = 0
+                    job.points["unique"] = 0
 
-                def on_rung(_index: int, rung_counters: dict) -> None:
-                    # Point totals grow rung by rung: the halving
-                    # schedule decides the next rung's size only once
-                    # this one is scored.
-                    job.points["requested"] += rung_counters["requested"]
-                    job.points["unique"] += rung_counters["unique"]
-                    self.job_store.save(job)
+                    def on_rung(_index: int, rung_counters: dict) -> None:
+                        # Point totals grow rung by rung: the halving
+                        # schedule decides the next rung's size only once
+                        # this one is scored.
+                        job.points["requested"] += rung_counters["requested"]
+                        job.points["unique"] += rung_counters["unique"]
+                        self.job_store.save(job)
 
-                report, counters = run_search(
-                    plan.search, self.engine, progress=self.progress,
-                    on_point=on_point, on_rung=on_rung,
-                )
-                result = {"kind": "search", "report": report}
-            else:
-                points = plan.plan_points()
-                job.points["requested"] = len(points)
-                job.points["unique"] = len(dedupe_points(points))
-                counters = self.engine.execute(
-                    points, progress=self.progress, on_point=on_point
-                )
-                if plan.kind == "figures":
-                    cache = SimulationCache(plan.settings, store=self.store)
-                    result = spec_mod.assemble_figure_result(plan, cache)
+                    report, counters = run_search(
+                        plan.search, self.engine, progress=self.progress,
+                        on_point=on_point, on_rung=on_rung,
+                    )
+                    result = {"kind": "search", "report": report}
                 else:
-                    result = spec_mod.assemble_points_result(plan, self.store)
+                    points = plan.plan_points()
+                    job.points["requested"] = len(points)
+                    job.points["unique"] = len(dedupe_points(points))
+                    counters = self.engine.execute(
+                        points, progress=self.progress, on_point=on_point
+                    )
+                    if plan.kind == "figures":
+                        cache = SimulationCache(plan.settings, store=self.store)
+                        result = spec_mod.assemble_figure_result(plan, cache)
+                    else:
+                        result = spec_mod.assemble_points_result(plan, self.store)
             job.points["completed"] = counters["unique"]
             completed = job.mark_completed(result, counters)
-            with self._points_lock:
-                self._point_totals["unique"] += counters["unique"]
-                self._point_totals["completed"] += counters["unique"]
-                self._point_totals["executed"] += counters["executed"]
-                self._point_totals["from_cache"] += counters["cached"]
-                self._point_totals["shared_inflight"] += counters["shared_inflight"]
-                self._point_totals["remote_inflight"] += counters.get(
-                    "remote_inflight", 0
-                )
-                self._point_totals["remote_reclaimed"] += counters.get(
-                    "remote_reclaimed", 0
-                )
+            self._point_counters["unique"].inc(counters["unique"])
+            self._point_counters["completed"].inc(counters["unique"])
+            self._point_counters["executed"].inc(counters["executed"])
+            self._point_counters["from_cache"].inc(counters["cached"])
+            self._point_counters["shared_inflight"].inc(
+                counters["shared_inflight"]
+            )
+            self._point_counters["remote_inflight"].inc(
+                counters.get("remote_inflight", 0)
+            )
+            self._point_counters["remote_reclaimed"].inc(
+                counters.get("remote_reclaimed", 0)
+            )
             if completed:
                 self._say(
                     f"job {job.id}: completed ({counters['executed']} executed, "
@@ -593,7 +780,7 @@ class ServiceApp:
                 f"deadline mid-run",
             ):
                 job.record_fault("deadline_exceeded", replica=self.replica_id)
-                self.deadline_failures += 1
+                self._deadline_failures.inc()
         except ApiError as error:
             job.mark_failed(error.code, error.message)
         except BrokenProcessPool as error:
@@ -614,6 +801,7 @@ class ServiceApp:
                     f"{error.get('message')}"
                 )
             self.job_store.save(job)
+            self._finish_job_telemetry(job)
 
     # ------------------------------------------------------------------
     # observability
@@ -621,6 +809,11 @@ class ServiceApp:
 
     def uptime_seconds(self) -> float:
         return round(self._monotonic() - self._started_clock, 1)
+
+    @property
+    def stopping(self) -> bool:
+        """Whether a stop/drain has been requested (streams check this)."""
+        return self._stop.is_set()
 
     def health(self) -> dict:
         """Liveness plus per-component state.
@@ -672,27 +865,38 @@ class ServiceApp:
             "chaos": _seams.installed(),
         }
 
+    def _points_payload(self, uptime: float) -> dict:
+        """The ``points`` metrics family, in its historical key order.
+
+        ``per_minute`` is the **sliding 60 s window** rate (a long-lived
+        replica's current throughput); ``per_minute_lifetime`` keeps the
+        uptime-averaged figure the field used to carry.
+        """
+        points = {
+            name: self._point_counters[name].int_value
+            for name in _POINT_FIELDS
+        }
+        points["per_minute"] = self._rate_window.per_minute()
+        points["per_minute_lifetime"] = (
+            round(points["completed"] * 60.0 / uptime, 2) if uptime > 0 else 0.0
+        )
+        return points
+
     def _snapshot(self) -> dict:
         """This replica's publishable counter snapshot (see fleet)."""
         uptime = self.uptime_seconds()
-        with self._points_lock:
-            points = dict(self._point_totals)
-        points["per_minute"] = (
-            round(points["completed"] * 60.0 / uptime, 2) if uptime > 0 else 0.0
-        )
         return {
-            "points": points,
+            "points": self._points_payload(uptime),
             "jobs": self.queue.by_state(),
             "uptime_seconds": uptime,
+            # Mergeable latency histograms (fixed bounds ⇒ exact fleet
+            # percentiles; see ReplicaRegistry.fleet_metrics).
+            "histograms": self.telemetry.registry.histogram_payloads(),
         }
 
     def metrics(self) -> dict:
         uptime = self.uptime_seconds()
-        with self._points_lock:
-            points = dict(self._point_totals)
-        points["per_minute"] = (
-            round(points["completed"] * 60.0 / uptime, 2) if uptime > 0 else 0.0
-        )
+        points = self._points_payload(uptime)
         # Publish before aggregating so the fleet section always includes
         # this replica's own up-to-date counters.
         self.replicas.publish(self._snapshot())
@@ -744,3 +948,30 @@ class ServiceApp:
                 fresh_within=max(self.lease_ttl, 3.0)
             ),
         }
+
+    def prometheus_text(self) -> str:
+        """The registry as Prometheus text exposition (version 0.0.4).
+
+        Registry-native instruments (counters, histograms) render as
+        themselves; derived values the JSON endpoint computes on the fly
+        (queue depth, cache hit counters, storage stats, job states) are
+        mirrored into gauges first so the exposition is self-contained.
+        """
+        registry = self.telemetry.registry
+        registry.gauge("uptime_seconds").set(self.uptime_seconds())
+        registry.gauge("queue.depth").set(self.queue.depth())
+        registry.gauge("points.per_minute").set(self._rate_window.per_minute())
+        registry.gauge("replica.held_leases").set(len(self.leases.held()))
+        for state, count in self.queue.by_state().items():
+            registry.gauge(f"jobs.state.{state}").set(count)
+        for family, values in (
+            ("result_cache", self.store.counters()),
+            ("trace_cache", self.trace_store.counters()),
+            ("storage.results", self.store.storage_stats()),
+            ("storage.traces", self.trace_store.storage_stats()),
+            ("job_store", {"quarantined": self.job_store.quarantined,
+                           "save_errors": self.job_store.save_errors}),
+        ):
+            for key, value in values.items():
+                registry.gauge(f"{family}.{key}").set(value)
+        return _prometheus.render(registry, replica=self.replica_id)

@@ -23,12 +23,14 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
 import urllib.error
 import urllib.request
-from typing import Optional
+from typing import Dict, Iterator, Optional
 
 from repro.errors import ReproError
+from repro.obs.context import TRACE_HEADER, TraceContext, new_trace
 from repro.service.jobs import TERMINAL_STATES
 
 #: Default address of ``python -m repro.service serve``.
@@ -92,6 +94,8 @@ class ServiceClient:
         self.retry_budget_s = retry_budget_s
         #: Total re-attempts made over this client's lifetime.
         self.retried = 0
+        #: The trace context of the most recent submit/search, if any.
+        self.last_trace: Optional[TraceContext] = None
         self._sleep = _sleep
         self._clock = _clock
         self._rng = _rng if _rng is not None else random.Random()
@@ -99,14 +103,18 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def _request_once(self, method: str, path: str,
-                      payload: Optional[dict] = None, raw: bool = False):
+                      payload: Optional[dict] = None, raw: bool = False,
+                      headers: Optional[dict] = None):
         url = f"{self.base_url}{path}"
         data = None
-        headers = {"Accept": "application/json"}
+        request_headers = {"Accept": "application/json"}
+        if headers:
+            request_headers.update(headers)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers,
+            request_headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data,
+                                         headers=request_headers,
                                          method=method)
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -144,12 +152,19 @@ class ServiceClient:
             ) from error
 
     def _request(self, method: str, path: str,
-                 payload: Optional[dict] = None, raw: bool = False):
+                 payload: Optional[dict] = None, raw: bool = False,
+                 headers: Optional[dict] = None):
         """One API call with the retry policy of the class docstring."""
         started = self._clock()
         attempt = 0
         while True:
             try:
+                # headers ride as a kwarg, and only when present, so test
+                # doubles written against the historical 4-argument
+                # signature keep working.
+                if headers:
+                    return self._request_once(method, path, payload, raw,
+                                              headers=headers)
                 return self._request_once(method, path, payload, raw)
             except ServiceError as error:
                 transient = (
@@ -172,8 +187,21 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
 
-    def submit(self, spec: dict) -> dict:
-        return self._request("POST", "/jobs", payload=spec)
+    def submit(self, spec: dict,
+               trace: Optional[TraceContext] = None) -> dict:
+        """Submit a job, propagating a trace context end to end.
+
+        A fresh trace is minted when the caller doesn't pass one; the
+        context rides the ``X-Repro-Trace`` header and comes back in the
+        job record's ``trace`` field, so client and server spans share
+        one trace id.  The context used is remembered as
+        ``last_trace`` for callers that want to follow the trace later.
+        """
+        if trace is None:
+            trace = new_trace()
+        self.last_trace = trace
+        return self._request("POST", "/jobs", payload=spec,
+                             headers={TRACE_HEADER: trace.to_header()})
 
     def jobs(self) -> dict:
         return self._request("GET", "/jobs")
@@ -194,9 +222,14 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
 
-    def search(self, spec: dict) -> dict:
+    def search(self, spec: dict,
+               trace: Optional[TraceContext] = None) -> dict:
         """Submit a config-space search; returns the new job record."""
-        return self._request("POST", "/search", payload=spec)
+        if trace is None:
+            trace = new_trace()
+        self.last_trace = trace
+        return self._request("POST", "/search", payload=spec,
+                             headers={TRACE_HEADER: trace.to_header()})
 
     def searches(self) -> dict:
         return self._request("GET", "/search")
@@ -218,6 +251,92 @@ class ServiceClient:
         return report.get("frontier") or []
 
     # ------------------------------------------------------------------
+    # telemetry event stream
+    # ------------------------------------------------------------------
+
+    def events(self, since: int = 0,
+               stop_on_idle: bool = False) -> Iterator[dict]:
+        """Iterate the server's telemetry events (``GET /events`` SSE).
+
+        Yields each event as a dict; ``since`` resumes after an event
+        seq.  With ``stop_on_idle`` the iterator returns at the first
+        server keepalive — i.e. once the buffered backlog is drained —
+        which turns the live stream into a one-shot ring read.  Raises
+        :class:`ServiceError` when the server predates /events or
+        publishes no stream; callers wanting graceful degradation catch
+        it (see :meth:`watch`).
+        """
+        url = f"{self.base_url}/events?since={int(since)}"
+        request = urllib.request.Request(
+            url, headers={"Accept": "text/event-stream"}
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(body)["error"]
+                code = str(detail.get("code", "http_error"))
+                message = str(detail.get("message", body))
+            except (ValueError, KeyError, TypeError):
+                code, message = "http_error", f"HTTP {error.code}: {body.strip()}"
+            raise ServiceError(message, code=code,
+                               status=error.code) from error
+        except (urllib.error.URLError, OSError, TimeoutError,
+                http.client.HTTPException) as error:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: {error}"
+            ) from error
+        with response:
+            data_lines: list = []
+            try:
+                for raw_line in response:
+                    line = raw_line.decode("utf-8", errors="replace").rstrip("\r\n")
+                    if not line:
+                        if data_lines:
+                            try:
+                                event = json.loads("".join(data_lines))
+                            except ValueError:
+                                event = None
+                            data_lines = []
+                            if isinstance(event, dict):
+                                yield event
+                        continue
+                    if line.startswith(":"):
+                        if stop_on_idle:
+                            return  # backlog drained; the stream is idle
+                        continue
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].lstrip())
+            except (OSError, TimeoutError, http.client.HTTPException):
+                return  # stream ended (server drained or connection lost)
+
+    def job_span_breakdown(self, job_id: str) -> Optional[Dict[str, float]]:
+        """One-shot read of the event ring: the job's span durations.
+
+        Sums ``span_end`` durations by span name for ``job_id`` (the
+        job root span, queue wait, lease hold, execute).  Returns
+        ``None`` when the server has no event stream or nothing was
+        recorded — callers print the breakdown only when it exists.
+        """
+        breakdown: Dict[str, float] = {}
+        try:
+            for event in self.events(since=0, stop_on_idle=True):
+                if event.get("kind") != "span_end":
+                    continue
+                if event.get("job_id") != job_id:
+                    continue
+                name = event.get("span")
+                duration = event.get("duration_s")
+                if isinstance(name, str) and isinstance(duration, (int, float)):
+                    breakdown[name] = round(
+                        breakdown.get(name, 0.0) + float(duration), 6
+                    )
+        except ServiceError:
+            return None  # older server / no cache dir: degrade silently
+        return breakdown or None
+
+    # ------------------------------------------------------------------
 
     def watch(
         self,
@@ -229,6 +348,7 @@ class ServiceClient:
         backoff: float = 1.6,
         jitter: float = 0.2,
         unreachable_timeout: Optional[float] = 60.0,
+        on_phase=None,
         _sleep=time.sleep,
         _clock=time.time,
     ) -> dict:
@@ -252,9 +372,49 @@ class ServiceClient:
         loop and only raises once the service has been continuously
         unreachable for ``unreachable_timeout`` seconds (``None`` waits
         forever, bounded only by ``timeout``).
+
+        ``on_phase`` (if given) receives the job's ``job_phase``
+        telemetry events (queued → leased → running → completed/failed)
+        streamed live from ``GET /events`` on a background thread.  A
+        server without an event stream — an older build, or one running
+        without a cache dir — simply never calls it: phase streaming
+        degrades silently, the poll loop is unaffected.
         """
         if max_interval is None:
             max_interval = max(interval, 8.0)
+        phase_stop: Optional[threading.Event] = None
+        if on_phase is not None:
+            phase_stop = threading.Event()
+            stop = phase_stop
+
+            def _pump_phases() -> None:
+                try:
+                    for event in self.events():
+                        if stop.is_set():
+                            return
+                        if (event.get("kind") == "job_phase"
+                                and event.get("job_id") == job_id):
+                            on_phase(event)
+                except ServiceError:
+                    pass  # no event stream on this server: degrade silently
+
+            threading.Thread(
+                target=_pump_phases, name=f"watch-events-{job_id}",
+                daemon=True,
+            ).start()
+        try:
+            return self._watch_poll(
+                job_id, interval, timeout, on_update, max_interval, backoff,
+                jitter, unreachable_timeout, _sleep, _clock,
+            )
+        finally:
+            if phase_stop is not None:
+                phase_stop.set()
+
+    def _watch_poll(
+        self, job_id, interval, timeout, on_update, max_interval, backoff,
+        jitter, unreachable_timeout, _sleep, _clock,
+    ) -> dict:
         deadline = _clock() + timeout if timeout is not None else None
         delay = interval
         last_completed = -1

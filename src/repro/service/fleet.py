@@ -44,6 +44,8 @@ try:  # pragma: no cover - POSIX-only; fallback keeps imports safe
 except ImportError:  # pragma: no cover
     fcntl = None  # type: ignore[assignment]
 
+from repro.obs.metrics import Histogram
+
 #: Subdirectory of the job dir holding lease files.
 LEASE_SUBDIR = "leases"
 
@@ -133,9 +135,11 @@ class LeaseManager:
     def _path(self, job_id: str) -> str:
         return os.path.join(self.lease_dir, f"{job_id}.json")  # type: ignore[arg-type]
 
-    def acquire(self, job_id: str) -> bool:
+    def acquire(self, job_id: str, trace_id: Optional[str] = None) -> bool:
         """Take (or renew) the lease on ``job_id``; ``False`` if another
-        replica holds an unexpired lease."""
+        replica holds an unexpired lease.  ``trace_id`` (the job's trace
+        context) is recorded in the lease file so an operator inspecting
+        a stuck lease can jump straight to the owning trace's spans."""
         if not self.lease_dir:
             return True  # fleet of one
         with _GlobalLock(self.lease_dir):
@@ -145,11 +149,11 @@ class LeaseManager:
                 if isinstance(deadline, (int, float)) and deadline > self.clock():
                     return False
             deadline = self.clock() + self.ttl
-            _write_atomic(
-                self.lease_dir,
-                f"{job_id}.json",
-                {"job_id": job_id, "owner": self.owner, "deadline": deadline},
-            )
+            payload = {"job_id": job_id, "owner": self.owner,
+                       "deadline": deadline}
+            if trace_id is not None:
+                payload["trace_id"] = trace_id
+            _write_atomic(self.lease_dir, f"{job_id}.json", payload)
         with self._lock:
             self._held[job_id] = deadline
         return True
@@ -184,11 +188,11 @@ class LeaseManager:
                         self._held.pop(job_id, None)
                     continue
                 deadline = self.clock() + self.ttl
-                _write_atomic(
-                    self.lease_dir,
-                    f"{job_id}.json",
-                    {"job_id": job_id, "owner": self.owner, "deadline": deadline},
-                )
+                payload = {"job_id": job_id, "owner": self.owner,
+                           "deadline": deadline}
+                if isinstance(current.get("trace_id"), str):
+                    payload["trace_id"] = current["trace_id"]
+                _write_atomic(self.lease_dir, f"{job_id}.json", payload)
                 with self._lock:
                     self._held[job_id] = deadline
 
@@ -297,7 +301,23 @@ class ReplicaRegistry:
         active = 0
         per_minute = 0.0
         snapshot_errors = 0
+        merged_hist: Dict[str, Histogram] = {}
         for snapshot in self.snapshots():
+            histograms = snapshot.get("histograms")
+            if histograms is not None and not isinstance(histograms, dict):
+                snapshot_errors += 1
+            elif isinstance(histograms, dict):
+                for hist_name, payload in sorted(histograms.items()):
+                    try:
+                        target = merged_hist.get(hist_name)
+                        if target is None:
+                            target = Histogram(
+                                hist_name, buckets=payload["bounds"]
+                            )
+                            merged_hist[hist_name] = target
+                        target.merge_payload(payload)
+                    except (KeyError, TypeError, ValueError):
+                        snapshot_errors += 1
             updated_at = snapshot.get("updated_at")
             age = (
                 round(now - updated_at, 1)
@@ -332,7 +352,7 @@ class ReplicaRegistry:
                 "age_seconds": age,
                 "points": replica_points,
             })
-        return {
+        result = {
             "replicas": replicas,
             "active_replicas": active,
             "known_replicas": len(replicas),
@@ -340,3 +360,15 @@ class ReplicaRegistry:
             "per_minute": round(per_minute, 2),
             "snapshot_errors": snapshot_errors,
         }
+        latency = merged_hist.get("point.simulate_seconds")
+        if latency is not None and latency.count:
+            # Histogram merge is exact (same fixed bucket bounds on every
+            # replica), so these fleet-wide percentiles equal a histogram
+            # built from the concatenated samples.
+            result["point_latency_s"] = {
+                "count": latency.count,
+                "p50": round(latency.quantile(0.5), 6),
+                "p95": round(latency.quantile(0.95), 6),
+                "p99": round(latency.quantile(0.99), 6),
+            }
+        return result

@@ -89,6 +89,12 @@ class Job:
     counters: Optional[dict] = None
     error: Optional[dict] = None
     result: Optional[dict] = None
+    #: Trace context of the job's root span (``{"trace_id", "span_id"}``),
+    #: minted at admission (or propagated from the client's
+    #: ``X-Repro-Trace`` header) and persisted so every replica that
+    #: touches the job — adopter, thief, resumer — emits spans into the
+    #: same trace.
+    trace: Optional[dict] = None
     #: Times execution has *started* for this job — the first run and
     #: every re-queue after a crash/steal each count one.  Drives the
     #: poison-job quarantine threshold.
@@ -175,6 +181,8 @@ class Job:
         self.result = other.result
         self.attempts = other.attempts
         self.fault_history = list(other.fault_history)
+        if other.trace is not None:
+            self.trace = dict(other.trace)
 
     # ------------------------------------------------------------------
 
@@ -194,6 +202,7 @@ class Job:
             "error": self.error,
             "attempts": self.attempts,
             "fault_history": list(self.fault_history),
+            "trace": self.trace,
         }
         if include_result:
             payload["result"] = self.result
@@ -230,6 +239,8 @@ class Job:
             # keeps SCHEMA_VERSION at 1 and old files loadable.
             attempts=int(payload.get("attempts", 0)),
             fault_history=list(payload.get("fault_history") or []),
+            trace=(payload.get("trace")
+                   if isinstance(payload.get("trace"), dict) else None),
         )
 
 

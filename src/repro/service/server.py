@@ -13,6 +13,15 @@ Routes (all JSON unless ``format=csv``)::
     GET  /healthz               liveness + version
     GET  /metrics               queue depth, jobs by state, points/min,
                                 cache hit rates, worker-pool resets
+                                (?format=prometheus for text exposition)
+    GET  /events                live telemetry event stream (SSE;
+                                ?since=<seq> resumes after a cursor)
+
+Submissions may carry an ``X-Repro-Trace: <trace_id>-<span_id>`` header;
+the job's root span becomes a child of that context, so client-minted
+trace ids follow a job through queueing, execution and storage.  A
+missing or malformed header degrades to a server-minted trace — never a
+4xx.
 
 Every error — including unknown routes and internal failures — is a
 structured JSON body ``{"error": {"code": ..., "message": ...}}``; a
@@ -24,13 +33,24 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.chaos import seams as _seams
+from repro.obs.context import TRACE_HEADER, TraceContext
 from repro.service.app import ServiceApp
 from repro.service.spec import ApiError
+
+#: How long one /events poll blocks before emitting a keepalive comment;
+#: short enough that a draining server releases its stream threads fast.
+EVENTS_POLL_SECONDS = 1.0
+
+#: Upper bound on one SSE connection's lifetime (seconds).  Clients
+#: (ServiceClient.events) reconnect with ``since=<last seq>``, so a
+#: bounded stream costs a resumed cursor, not lost events.
+EVENTS_MAX_SECONDS = 3600.0
 
 #: Submissions larger than this are rejected outright (a malformed
 #: Content-Length must not let a request buffer without bound).
@@ -142,6 +162,52 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
+    def _stream_events(self, query: dict) -> None:
+        """``GET /events``: the replica's live telemetry feed as SSE.
+
+        Frames are ``id: <seq>`` / ``data: <event json>``; a client that
+        reconnects with ``?since=<last id>`` resumes from the oldest
+        still-buffered event after its cursor (the on-disk event log is
+        the lossless record — the stream is the live tail).  Idle
+        connections get keepalive comments so proxies don't reap them.
+        """
+        bus = self.app.telemetry.bus
+        if bus is None:
+            raise ApiError(
+                404, "events_unavailable",
+                "this server publishes no event stream (no cache dir)",
+            )
+        try:
+            cursor = int(query.get("since", ["0"])[-1])
+        except ValueError as exc:
+            raise ApiError(400, "bad_request",
+                           "since must be an integer event seq") from exc
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream; charset=utf-8")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        deadline = time.monotonic() + EVENTS_MAX_SECONDS
+        try:
+            while not self.app.stopping and time.monotonic() < deadline:
+                events = bus.wait(cursor, timeout=EVENTS_POLL_SECONDS)
+                if not events:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                for event in events:
+                    seq = int(event.get("seq", 0))
+                    cursor = max(cursor, seq)
+                    data = json.dumps(event, separators=(",", ":"),
+                                      default=str)
+                    self.wfile.write(
+                        f"id: {seq}\ndata: {data}\n\n".encode("utf-8")
+                    )
+                self.wfile.flush()
+        except (OSError, ValueError):
+            pass  # subscriber went away; nothing to clean up
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         try:
             parsed = urlparse(self.path)
@@ -150,7 +216,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, self.app.health())
                 return
             if path in ("/metrics", "/metrics/"):
-                self._send_json(200, self.app.metrics())
+                params = parse_qs(parsed.query)
+                fmt = params.get("format", ["json"])[-1]
+                if fmt == "prometheus":
+                    self._send_body(200, self.app.prometheus_text(),
+                                    "text/plain; version=0.0.4")
+                elif fmt == "json":
+                    self._send_json(200, self.app.metrics())
+                else:
+                    raise ApiError(
+                        400, "bad_format",
+                        f"unsupported metrics format {fmt!r} "
+                        f"(json or prometheus)",
+                    )
+                return
+            if path in ("/events", "/events/"):
+                self._stream_events(parse_qs(parsed.query))
                 return
             job_id, sub = self._job_route(path)
             if job_id == "" and sub is None:
@@ -216,7 +297,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 payload = {"search": payload, "priority": priority}
                 if deadline_s is not None:
                     payload["deadline_s"] = deadline_s
-            job = self.app.submit(payload)
+            trace = TraceContext.parse(self.headers.get(TRACE_HEADER))
+            job = self.app.submit(payload, trace=trace)
             self._send_json(202, job.to_dict())
         except ApiError as error:
             self._send_error(error)

@@ -43,6 +43,7 @@ import re
 import threading
 import zlib
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from time import time as _wall_clock
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -140,6 +141,13 @@ class ShardedStore:
         self.compact_min_bytes = compact_min_bytes
         self.clock = clock
         self.counters = _Counters()
+        #: Optional duration sink ``(op, seconds) -> None`` fired after
+        #: every append (``"append"``) and compaction (``"compact"``) —
+        #: the service hangs its storage spans/histograms here without
+        #: this layer knowing anything about telemetry.  Observers must
+        #: be fast and non-raising; a ``None`` observer costs one
+        #: ``is None`` test on the write path.
+        self.observer: Optional[Callable[[str, float], None]] = None
         self._shards: Dict[int, _Shard] = {}
         self._shards_lock = threading.Lock()
         #: Sticky degradation flag: set on the first ENOSPC and never
@@ -420,6 +428,8 @@ class ShardedStore:
         """
         if self._read_only.is_set():
             return
+        observer = self.observer
+        started = _perf_counter() if observer is not None else 0.0
         shard = self._shard(self.shard_of(key))
         with shard.lock, self._file_lock(shard):
             self._refresh(shard)
@@ -433,6 +443,8 @@ class ShardedStore:
                 if error.errno != errno.ENOSPC:
                     raise
                 self._degrade(error)
+        if observer is not None:
+            observer("append", _perf_counter() - started)
 
     def delete(self, key: str) -> bool:
         """Append a tombstone; returns whether the key was present."""
@@ -555,6 +567,8 @@ class ShardedStore:
         entries (by timestamp, then write order) are evicted until the
         shard's payload fits its budget.  Caller holds both locks.
         """
+        observer = self.observer
+        compact_started = _perf_counter() if observer is not None else 0.0
         live: List[Tuple[str, _Entry, bytes]] = []
         expired = 0
         for key, entry in shard.index.items():
@@ -624,6 +638,8 @@ class ShardedStore:
             self.counters.compactions += 1
             self.counters.evictions += evicted
             self.counters.expired_dropped += expired
+        if observer is not None:
+            observer("compact", _perf_counter() - compact_started)
 
     def compact(self) -> None:
         """Force-compact every shard that has any data on disk."""

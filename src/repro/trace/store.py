@@ -181,6 +181,12 @@ class TraceStore:
 
     # ------------------------------------------------------------------
 
+    def set_observer(self, observer) -> None:
+        """Install a ``(op, seconds)`` duration sink on the disk tier
+        (see :attr:`ShardedStore.observer`); no-op when memory-only."""
+        if self._disk is not None:
+            self._disk.observer = observer
+
     def compact(self) -> None:
         """Force-compact the disk tier (applies the size bound eagerly)."""
         if self._disk is not None:

@@ -32,8 +32,8 @@ class TestServiceScenario:
         assert result.metadata["job_counters"]["executed"] == 3
 
     def test_scenario_is_quick_eligible_and_stably_named(self):
-        quick, quick_resilience = service_scenarios(quick=True)
-        full, full_resilience = service_scenarios(quick=False)
+        quick, quick_resilience, quick_obs = service_scenarios(quick=True)
+        full, full_resilience, full_obs = service_scenarios(quick=False)
         # The perf gate matches scenarios by name across reports, so the
         # quick CI run must carry the same name as the committed baseline.
         assert quick.name == full.name == "service_throughput/figure6"
@@ -41,6 +41,10 @@ class TestServiceScenario:
         assert quick_resilience.name == full_resilience.name \
             == "resilience_overhead/figure6"
         assert quick_resilience.instructions < full_resilience.instructions
+        assert quick_obs.name == full_obs.name == "obs_overhead/figure6"
+        # The obs ratio is deliberately measured at full size even under
+        # --quick: watch-poll quantisation swamps sub-second jobs.
+        assert quick_obs.instructions == full_obs.instructions
 
     def test_deterministic_digest(self):
         scenario = ServiceScenario(

@@ -32,14 +32,29 @@ class TestMonotonicUptime:
 
     def test_points_per_minute_is_exact_under_a_frozen_clock(self):
         app, clock = self._frozen_app()
-        with app._points_lock:
-            app._point_totals["completed"] = 10
+        app._point_counters["completed"].inc(10)
         clock["now"] += 120.0
         metrics = app.metrics()
         assert metrics["uptime_seconds"] == 120.0
-        assert metrics["points"]["per_minute"] == 5.0
+        # The lifetime average rate (completed * 60 / uptime).
+        assert metrics["points"]["per_minute_lifetime"] == 5.0
         # Zero uptime must not divide by zero.
         app._started_clock = clock["now"]
+        assert app.metrics()["points"]["per_minute_lifetime"] == 0.0
+
+    def test_per_minute_is_a_sliding_window_rate(self):
+        app, clock = self._frozen_app()
+        # The window was opened against the real clock at construction;
+        # re-anchor it to the injected one.
+        app._rate_window._opened = clock["now"]
+        # 5 points observed "now": the window has been open 120 s, so the
+        # rate reflects the full 60 s window, not the whole uptime.
+        clock["now"] += 120.0
+        for _ in range(5):
+            app._rate_window.record(1)
+        assert app.metrics()["points"]["per_minute"] == 5.0
+        # 61 s later those points have left the window entirely.
+        clock["now"] += 61.0
         assert app.metrics()["points"]["per_minute"] == 0.0
 
 

@@ -44,6 +44,7 @@ CLI_DOC_MAP = [
     ("repro.service", "metrics", "docs/service.md"),
     ("repro.service", "health", "docs/service.md"),
     ("repro.chaos", None, "docs/robustness.md"),
+    ("repro.obs", "report", "docs/observability.md"),
 ]
 
 #: Markdown inline links: [text](target).  Reference-style links and
